@@ -1,0 +1,26 @@
+"""Benchmark harness for Figure 3 (accuracy vs sampled frames)."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, bench_config):
+    """Sweep SiEVE / MSE / SIFT over the labelled datasets and print the curves."""
+    points = benchmark.pedantic(figure3.run, args=(bench_config,),
+                                kwargs={"include_sift": True},
+                                iterations=1, rounds=1)
+    print()
+    print(figure3.render(points))
+    summary = figure3.summarize(points)
+    print("\nMean accuracy per method:")
+    for dataset, methods in sorted(summary.items()):
+        print(f"  {dataset}: " + ", ".join(
+            f"{method}={value:.3f}" for method, value in sorted(methods.items())))
+    assert summary, "Figure 3 produced no data"
+    for dataset, methods in summary.items():
+        # Paper shape: SiEVE outperforms both decode-based baselines on average.
+        assert methods["sieve"] >= methods["mse"] - 0.02, dataset
+        if "sift" in methods:
+            assert methods["sieve"] >= methods["sift"] - 0.02, dataset
+    # SiEVE reaches high accuracy within a few percent of sampled frames.
+    best_sieve = max(point.accuracy for point in points if point.method == "sieve")
+    assert best_sieve > 0.90

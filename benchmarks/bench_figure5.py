@@ -1,0 +1,28 @@
+"""Benchmark harness for Figure 5 (data transfer camera->edge and edge->cloud)."""
+
+import pytest
+
+from repro.core import DeploymentMode
+from repro.experiments import figure4, figure5
+
+
+@pytest.fixture(scope="module")
+def workloads(bench_config_small):
+    return figure4.build_workloads(bench_config_small)
+
+
+def test_figure5(benchmark, workloads):
+    """Measure per-deployment transfer volumes and print Figure 5."""
+    results = benchmark(figure5.run, workloads)
+    print()
+    print(figure5.render(results))
+    ratios = figure5.headline_ratios(results)
+    # Paper shape: shipping resized I-frames cuts the edge->cloud volume by a
+    # large factor (7x in the paper) vs shipping the whole video; the MSE
+    # deployment ships more than the I-frame deployment (2.5x in the paper);
+    # the semantic encoding is slightly larger camera->edge (1.12x).
+    assert ratios["full_video_over_iframes"] > 3.0
+    assert ratios["mse_over_iframes"] > 1.2
+    assert 1.0 < ratios["semantic_over_default_camera_edge"] < 3.0
+    three_tier = results[DeploymentMode.IFRAME_EDGE_CLOUD_NN]
+    assert three_tier.edge_cloud_bytes < three_tier.camera_edge_bytes

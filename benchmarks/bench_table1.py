@@ -1,0 +1,13 @@
+"""Benchmark harness for Table I (dataset inventory)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_config):
+    """Regenerate Table I and verify the synthetic stand-ins."""
+    rows = benchmark(table1.run, bench_config, True)
+    print()
+    print(table1.render(rows))
+    assert len(rows) == 5
+    for row in rows:
+        assert row["synthetic_events"] >= 1

@@ -1,0 +1,32 @@
+"""Benchmark harness for Table III (event-detection speed)."""
+
+from repro.experiments import ExperimentConfig, table3
+
+
+def test_table3_simulated(benchmark):
+    """Cost-model Table III at the paper's nominal resolutions."""
+    config = ExperimentConfig(datasets=("jackson_square", "coral_reef", "venice"))
+    rows = benchmark(table3.run, config, False)
+    print()
+    print(table3.render(rows))
+    by_name = {row.dataset: row for row in rows}
+    # Paper: 19600 / 7200 / 2300 fps for SiEVE and ~100-170x speedups.
+    assert by_name["jackson_square"].sieve_fps > 10_000
+    assert by_name["venice"].sieve_fps > 2_000
+    for row in rows:
+        assert row.sieve_speedup_vs_mse > 50
+        assert row.sieve_speedup_vs_sift > 80
+
+
+def test_table3_wallclock(benchmark, bench_config_small):
+    """Wall-clock throughput of this library's own seek / MSE / SIFT paths."""
+    config = ExperimentConfig(duration_seconds=bench_config_small.duration_seconds,
+                              render_scale=bench_config_small.render_scale,
+                              datasets=("jackson_square",))
+    rows = benchmark.pedantic(table3.run, args=(config, True), iterations=1, rounds=1)
+    print()
+    print(table3.render(rows))
+    row = rows[0]
+    # The ordering must hold for the real implementations too.
+    assert row.measured_sieve_fps > row.measured_mse_fps > 0
+    assert row.measured_sieve_fps > row.measured_sift_fps > 0

@@ -1,0 +1,16 @@
+"""Simulated 3-tier cluster: cameras, edge servers, cloud, cost model."""
+
+from .camera import Camera
+from .cloud import CloudServer
+from .costmodel import CostModel
+from .edge import EdgeServer
+from .node import (ComputeNode, default_camera_node, default_cloud_node,
+                   default_edge_node)
+from .resultdb import ResultDatabase, ResultRecord
+from .storage import EdgeStorage
+
+__all__ = [
+    "Camera", "CloudServer", "CostModel", "EdgeServer",
+    "ComputeNode", "default_camera_node", "default_cloud_node", "default_edge_node",
+    "ResultDatabase", "ResultRecord", "EdgeStorage",
+]

@@ -1,0 +1,92 @@
+"""The camera tier.
+
+A camera owns a scene (one of the Table I scenarios or any
+:class:`~repro.video.synthetic.SceneProfile`), encodes it with the encoder
+parameters configured by the operator — the paper's "semantic video encoder"
+lives *in the camera*, its parameters are pushed through the vendor software
+— and streams the encoded video to its edge server, charging the bytes to
+the camera->edge link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..codec.bitstream import EncodedVideo
+from ..codec.encoder import VideoEncoder
+from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters
+from ..errors import ClusterError
+from ..net.link import NetworkLink
+from ..video.raw_video import VideoSource
+from ..video.synthetic import SceneProfile, SyntheticScene
+from .node import ComputeNode, default_camera_node
+
+
+@dataclass
+class Camera:
+    """A surveillance camera with a controllable video encoder.
+
+    Attributes:
+        name: Camera name (also used as the video name).
+        profile: Scene profile the camera observes.
+        parameters: Encoder parameters currently configured on the camera;
+            updated by the operator's control path
+            (:meth:`configure_encoder`).
+        node: The camera's compute node.
+    """
+
+    name: str
+    profile: SceneProfile
+    parameters: EncoderParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    node: ComputeNode = None
+    _encoded_cache: Dict[EncoderParameters, EncodedVideo] = field(
+        default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            self.node = default_camera_node(f"camera:{self.name}")
+        if self.node.role != "camera":
+            raise ClusterError("a Camera must run on a camera node")
+
+    # ------------------------------------------------------------------ #
+    # Control path (dashed lines in Figure 1)
+    # ------------------------------------------------------------------ #
+    def configure_encoder(self, parameters: EncoderParameters) -> None:
+        """Apply new encoder parameters (the operator's control command)."""
+        self.parameters = parameters
+
+    # ------------------------------------------------------------------ #
+    # Data path
+    # ------------------------------------------------------------------ #
+    def capture(self) -> VideoSource:
+        """Render the camera's (synthetic) raw video with ground truth."""
+        return SyntheticScene(self.profile).video()
+
+    def encode(self, parameters: Optional[EncoderParameters] = None,
+               materialise_payload: bool = False) -> EncodedVideo:
+        """Encode the camera's video with the given (or configured) parameters.
+
+        Encodings are cached per parameter set because the end-to-end
+        experiments compare several deployments over the same footage.
+        """
+        parameters = parameters or self.parameters
+        if parameters in self._encoded_cache and not materialise_payload:
+            return self._encoded_cache[parameters]
+        encoded = VideoEncoder(parameters).encode(self.capture(),
+                                                  materialise_payload)
+        if not materialise_payload:
+            self._encoded_cache[parameters] = encoded
+        return encoded
+
+    def stream_to_edge(self, link: NetworkLink,
+                       parameters: Optional[EncoderParameters] = None) -> EncodedVideo:
+        """Encode the video and charge its bytes to the camera->edge link."""
+        encoded = self.encode(parameters)
+        link.transfer(encoded.total_size_bytes, f"camera-stream:{self.name}")
+        return encoded
+
+    @property
+    def ground_truth(self):
+        """Ground-truth event timeline of the camera's scene."""
+        return SyntheticScene(self.profile).script.timeline()

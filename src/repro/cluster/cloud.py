@@ -1,0 +1,88 @@
+"""The cloud tier.
+
+The cloud server hosts the cloud compute engine (the second NiFi instance),
+the result database, and — in the "I-frame cloud" deployment — also the
+I-frame seeker.  As with the edge server, its methods perform the
+per-stage work and charge simulated time to the cloud node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..codec.bitstream import EncodedFrame, EncodedVideo
+from ..codec.iframe_seeker import IFrameSeeker, SeekResult
+from ..dataflow.engine import DataflowEngine
+from ..errors import ClusterError
+from ..nn.oracle import ObjectDetector
+from ..video.frame import Resolution
+from .costmodel import CostModel
+from .node import ComputeNode, default_cloud_node
+from .resultdb import ResultDatabase
+
+
+@dataclass
+class CloudServer:
+    """The cloud server of the 3-tier deployment.
+
+    Attributes:
+        name: Server name.
+        node: Compute node the server runs on.
+        cost_model: Calibrated per-operation cost model.
+        results: The result database.
+        engine: The local dataflow engine (NiFi stand-in).
+    """
+
+    name: str = "cloud-server"
+    node: ComputeNode = field(default_factory=default_cloud_node)
+    cost_model: CostModel = field(default_factory=CostModel)
+    results: ResultDatabase = field(default_factory=ResultDatabase)
+    engine: DataflowEngine = field(default_factory=lambda: DataflowEngine("cloud-nifi"))
+    _seeker: IFrameSeeker = field(default_factory=IFrameSeeker, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node.role != "cloud":
+            raise ClusterError("a CloudServer must run on a cloud node")
+
+    # ------------------------------------------------------------------ #
+    # Per-stage operations
+    # ------------------------------------------------------------------ #
+    def seek_iframes(self, encoded: EncodedVideo
+                     ) -> Tuple[List[EncodedFrame], SeekResult, float]:
+        """Run the I-frame seeker in the cloud (the 2-tier cloud deployment)."""
+        keyframes, result = self._seeker.seek_with_stats(encoded)
+        seconds = self.node.charge(self.cost_model.seek_seconds(
+            encoded.num_frames, encoded.metadata.resolution, self.node.speed_factor))
+        return keyframes, result, seconds
+
+    def decode_keyframes(self, num_frames: int, resolution: Resolution) -> float:
+        """Charge the still-image decode of I-frames in the cloud."""
+        return self.node.charge(self.cost_model.jpeg_decode_seconds(
+            num_frames, resolution, self.node.speed_factor))
+
+    def run_cloud_nn(self, num_frames: int) -> float:
+        """Charge NN inference for ``num_frames`` frames on the cloud node."""
+        return self.node.charge(self.cost_model.nn_seconds(num_frames, device="cloud"))
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def record_labels(self, video_name: str, detector: ObjectDetector,
+                      frame_indices: Iterable[int]) -> int:
+        """Run the detector on the given frames and store the results.
+
+        Returns:
+            The number of rows written to the result database.
+        """
+        count = 0
+        for frame_index in frame_indices:
+            labels = detector.detect(int(frame_index))
+            self.results.record(video_name, int(frame_index), labels)
+            count += 1
+        return count
+
+    def reset(self) -> None:
+        """Clear timing and results."""
+        self.node.reset()
+        self.results.clear()

@@ -1,0 +1,121 @@
+"""The edge-server tier.
+
+The edge server of Figure 1 hosts the I-frame seeker, the event queue, the
+edge compute (dataflow) engine and the edge storage.  Its methods do the
+per-stage work of the end-to-end pipeline and charge the corresponding
+simulated time to the edge node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from ..codec.bitstream import EncodedFrame, EncodedVideo
+from ..codec.iframe_seeker import IFrameSeeker, SeekResult
+from ..dataflow.engine import DataflowEngine
+from ..errors import ClusterError
+from ..video.frame import Resolution
+from .costmodel import CostModel
+from .node import ComputeNode, default_edge_node
+from .storage import EdgeStorage
+
+
+@dataclass
+class EdgeServer:
+    """An edge server sitting between cameras and the cloud.
+
+    Attributes:
+        name: Server name.
+        node: Compute node the server runs on.
+        storage: Edge video storage.
+        cost_model: Calibrated per-operation cost model.
+        event_queue: Buffer of I-frames awaiting dispatch by the edge engine.
+        engine: The local dataflow engine (NiFi stand-in).
+    """
+
+    name: str = "edge-server"
+    node: ComputeNode = field(default_factory=default_edge_node)
+    storage: EdgeStorage = field(default_factory=EdgeStorage)
+    cost_model: CostModel = field(default_factory=CostModel)
+    event_queue: Deque[EncodedFrame] = field(default_factory=deque)
+    engine: DataflowEngine = field(default_factory=lambda: DataflowEngine("edge-nifi"))
+    _seeker: IFrameSeeker = field(default_factory=IFrameSeeker, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node.role != "edge":
+            raise ClusterError("an EdgeServer must run on an edge node")
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+    def ingest(self, encoded: EncodedVideo) -> None:
+        """Receive a camera stream and keep it in edge storage."""
+        self.storage.store(encoded)
+
+    # ------------------------------------------------------------------ #
+    # Per-stage operations (each returns charged seconds)
+    # ------------------------------------------------------------------ #
+    def seek_iframes(self, encoded: EncodedVideo,
+                     enqueue: bool = True) -> Tuple[List[EncodedFrame], SeekResult, float]:
+        """Run the I-frame seeker over a stored/ingested video.
+
+        Returns the I-frames, seek statistics and the simulated seconds
+        charged to the edge node.
+        """
+        keyframes, result = self._seeker.seek_with_stats(encoded)
+        seconds = self.node.charge(self.cost_model.seek_seconds(
+            encoded.num_frames, encoded.metadata.resolution, self.node.speed_factor))
+        if enqueue:
+            self.event_queue.extend(keyframes)
+        return keyframes, result, seconds
+
+    def decode_keyframes(self, num_frames: int, resolution: Resolution) -> float:
+        """Charge the still-image decode of ``num_frames`` I-frames."""
+        return self.node.charge(self.cost_model.jpeg_decode_seconds(
+            num_frames, resolution, self.node.speed_factor))
+
+    def decode_full_video(self, encoded: EncodedVideo) -> float:
+        """Charge the classical full decode of every frame of a video."""
+        return self.node.charge(self.cost_model.decode_seconds(
+            encoded.num_frames, encoded.metadata.resolution, self.node.speed_factor))
+
+    def run_mse_filter(self, num_frames: int, resolution: Resolution) -> float:
+        """Charge an MSE similarity pass over ``num_frames`` decoded frames."""
+        return self.node.charge(self.cost_model.mse_seconds(
+            num_frames, resolution, self.node.speed_factor))
+
+    def run_sift_filter(self, num_frames: int, resolution: Resolution) -> float:
+        """Charge a SIFT matching pass over ``num_frames`` decoded frames."""
+        return self.node.charge(self.cost_model.sift_seconds(
+            num_frames, resolution, self.node.speed_factor))
+
+    def resize_frames(self, num_frames: int) -> float:
+        """Charge resizing ``num_frames`` frames to the NN input resolution."""
+        return self.node.charge(self.cost_model.resize_seconds(
+            num_frames, self.node.speed_factor))
+
+    def run_edge_nn(self, num_frames: int) -> float:
+        """Charge NN inference for ``num_frames`` frames on the edge node."""
+        return self.node.charge(self.cost_model.nn_seconds(num_frames, device="edge"))
+
+    # ------------------------------------------------------------------ #
+    # Event queue
+    # ------------------------------------------------------------------ #
+    def drain_event_queue(self) -> List[EncodedFrame]:
+        """Remove and return every buffered I-frame."""
+        items = list(self.event_queue)
+        self.event_queue.clear()
+        return items
+
+    @property
+    def queued_events(self) -> int:
+        """Number of I-frames waiting in the event queue."""
+        return len(self.event_queue)
+
+    def reset(self) -> None:
+        """Clear timing, queue and engine state (storage is kept)."""
+        self.node.reset()
+        self.event_queue.clear()
+        self.engine.reset() if self.engine.operators else None

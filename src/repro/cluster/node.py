@@ -1,0 +1,62 @@
+"""Compute nodes of the simulated 3-tier deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ClusterError
+
+
+@dataclass
+class ComputeNode:
+    """A compute device (camera SoC, edge desktop, cloud server).
+
+    Attributes:
+        name: Node name.
+        role: ``"camera"``, ``"edge"`` or ``"cloud"``.
+        speed_factor: Relative CPU speed used to scale the cost model
+            (``1.0`` is the paper's edge desktop).
+        memory_gb: Installed memory (informational; the paper's edge has
+            12 GB and the cloud 32 GB).
+        busy_seconds: Accumulated simulated compute time.
+    """
+
+    name: str
+    role: str
+    speed_factor: float = 1.0
+    memory_gb: float = 12.0
+    busy_seconds: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.role not in ("camera", "edge", "cloud"):
+            raise ClusterError(f"unknown node role {self.role!r}")
+        if self.speed_factor <= 0:
+            raise ClusterError("speed_factor must be positive")
+        if self.memory_gb <= 0:
+            raise ClusterError("memory_gb must be positive")
+
+    def charge(self, seconds: float) -> float:
+        """Add simulated compute time to the node and return it."""
+        if seconds < 0:
+            raise ClusterError("cannot charge negative time")
+        self.busy_seconds += seconds
+        return seconds
+
+    def reset(self) -> None:
+        """Clear the accumulated busy time."""
+        self.busy_seconds = 0.0
+
+
+def default_edge_node(name: str = "edge-0") -> ComputeNode:
+    """The paper's edge desktop (Intel i7-5600, 12 GB)."""
+    return ComputeNode(name=name, role="edge", speed_factor=1.0, memory_gb=12.0)
+
+
+def default_cloud_node(name: str = "cloud-0") -> ComputeNode:
+    """The paper's cloud server (Intel Xeon E5-1603, 32 GB)."""
+    return ComputeNode(name=name, role="cloud", speed_factor=2.2, memory_gb=32.0)
+
+
+def default_camera_node(name: str) -> ComputeNode:
+    """A camera SoC with a hardware encoder and little general compute."""
+    return ComputeNode(name=name, role="camera", speed_factor=0.25, memory_gb=1.0)

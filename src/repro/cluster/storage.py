@@ -1,0 +1,94 @@
+"""Edge storage of semantically encoded videos.
+
+The paper keeps the full semantically encoded video (I and P frames) in the
+edge server's storage so that later, deeper analysis (tracking, person
+identification) can seek directly to the GOP of an event.  This module is
+that store: encoded videos indexed by name, with size accounting and
+event-aligned retrieval helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..codec.bitstream import EncodedFrame, EncodedVideo
+from ..errors import ClusterError
+
+
+class EdgeStorage:
+    """In-memory store of encoded videos held at the edge.
+
+    Args:
+        capacity_bytes: Optional storage capacity; storing beyond it raises,
+            which models the paper's stated assumption that "the edge
+            location has access to non-trivial storage capacity".
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ClusterError("capacity_bytes must be positive when given")
+        self.capacity_bytes = capacity_bytes
+        self._videos: Dict[str, EncodedVideo] = {}
+
+    def store(self, encoded: EncodedVideo) -> None:
+        """Store an encoded video under its metadata name."""
+        name = encoded.metadata.name
+        projected = self.used_bytes - self._size_of(name) + encoded.total_size_bytes
+        if self.capacity_bytes is not None and projected > self.capacity_bytes:
+            raise ClusterError(
+                f"storing {name!r} ({encoded.total_size_bytes} B) exceeds the edge "
+                f"storage capacity of {self.capacity_bytes} B")
+        self._videos[name] = encoded
+
+    def _size_of(self, name: str) -> int:
+        video = self._videos.get(name)
+        return video.total_size_bytes if video is not None else 0
+
+    def retrieve(self, name: str) -> EncodedVideo:
+        """Fetch a stored video by name."""
+        try:
+            return self._videos[name]
+        except KeyError as exc:
+            raise ClusterError(f"no stored video named {name!r}") from exc
+
+    def discard(self, name: str) -> None:
+        """Remove a stored video."""
+        if name not in self._videos:
+            raise ClusterError(f"no stored video named {name!r}")
+        del self._videos[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._videos
+
+    @property
+    def video_names(self) -> List[str]:
+        """Names of all stored videos."""
+        return sorted(self._videos)
+
+    @property
+    def used_bytes(self) -> int:
+        """Total encoded bytes currently stored."""
+        return sum(video.total_size_bytes for video in self._videos.values())
+
+    def gop_for_event(self, name: str, frame_index: int
+                      ) -> Tuple[int, List[EncodedFrame]]:
+        """Return the GOP containing ``frame_index`` of a stored video.
+
+        This is the "quickly seek the exact event/GOP" use case of Section IV:
+        because the event starts at an I-frame, deeper analysis decodes only
+        the frames of that GOP.
+
+        Returns:
+            ``(gop_start_index, frames_of_the_gop)``.
+        """
+        video = self.retrieve(name)
+        if not 0 <= frame_index < video.num_frames:
+            raise ClusterError(
+                f"frame index {frame_index} out of range for video {name!r}")
+        start = frame_index
+        while start > 0 and not video.frames[start].is_keyframe:
+            start -= 1
+        stop = frame_index + 1
+        while stop < video.num_frames and not video.frames[stop].is_keyframe:
+            stop += 1
+        return start, video.frames[start:stop]

@@ -1,0 +1,206 @@
+"""Encoder parameters and GOP (group-of-pictures) key-frame placement.
+
+The semantic video encoder exposes exactly the two knobs the paper tunes:
+
+* ``gop_size`` — the maximum number of frames between two I-frames (x264's
+  ``--keyint``); if no scene cut occurred for ``gop_size`` frames an I-frame
+  is forced,
+* ``scenecut_threshold`` — the 0-400 sensitivity of the scene-cut decision
+  (x264's ``--scenecut``), interpreted by
+  :func:`repro.codec.scenecut.scenecut_score_threshold`.
+
+Given the per-frame :class:`~repro.codec.scenecut.FrameActivity` series
+produced by one analysis pass, :class:`KeyframePlacer` converts any
+parameter configuration into the corresponding I/P frame-type sequence
+without re-running motion estimation — the property that makes the offline
+grid search of Section IV practical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..video.frame import FrameType
+from .scenecut import MAX_SCENECUT, FrameActivity, is_scenecut
+
+#: x264 defaults, quoted in the paper ("the default parameters (i.e., GOP
+#: size = 250, and scenecut = 40)").
+DEFAULT_GOP_SIZE = 250
+DEFAULT_SCENECUT = 40.0
+
+
+@dataclass(frozen=True)
+class EncoderParameters:
+    """Configuration of the semantic video encoder.
+
+    Attributes:
+        gop_size: Maximum distance between two I-frames (frames).
+        scenecut_threshold: Scene-cut sensitivity in ``[0, 400]``.
+        min_gop_size: Minimum distance between two I-frames; scene cuts
+            closer than this to the previous I-frame are encoded as P-frames
+            (x264's ``--min-keyint``).  ``0`` selects ``max(gop_size // 10, 1)``.
+        quality: JPEG-style quality factor used by the transform/quantiser.
+        block_size: Macroblock size.
+        search_radius: Motion-search radius in pixels.
+    """
+
+    gop_size: int = DEFAULT_GOP_SIZE
+    scenecut_threshold: float = DEFAULT_SCENECUT
+    min_gop_size: int = 0
+    quality: int = 75
+    block_size: int = 8
+    search_radius: int = 2
+
+    def __post_init__(self) -> None:
+        if self.gop_size < 1:
+            raise ConfigurationError(f"gop_size must be >= 1, got {self.gop_size}")
+        if not 0 <= self.scenecut_threshold <= MAX_SCENECUT:
+            raise ConfigurationError(
+                f"scenecut_threshold must be in [0, {MAX_SCENECUT}], "
+                f"got {self.scenecut_threshold}")
+        if self.min_gop_size < 0:
+            raise ConfigurationError("min_gop_size must be >= 0")
+        if not 1 <= self.quality <= 100:
+            raise ConfigurationError(f"quality must be in [1, 100], got {self.quality}")
+        if self.block_size < 2:
+            raise ConfigurationError("block_size must be >= 2")
+        if self.search_radius < 0:
+            raise ConfigurationError("search_radius must be >= 0")
+
+    @property
+    def effective_min_gop(self) -> int:
+        """The minimum I-frame spacing actually applied.
+
+        Follows the x264 ``--min-keyint auto`` convention of one tenth of the
+        GOP size, capped at roughly one second of video (25 frames) so that a
+        very large GOP does not lock out scene-cut I-frames for minutes.
+        """
+        if self.min_gop_size > 0:
+            return min(self.min_gop_size, self.gop_size)
+        return min(max(self.gop_size // 10, 1), 25)
+
+    def with_(self, **changes) -> "EncoderParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable description (used in experiment tables)."""
+        return f"gop={self.gop_size}, sc={self.scenecut_threshold:g}"
+
+
+#: The default (non-semantic) configuration used as the paper's baseline.
+DEFAULT_PARAMETERS = EncoderParameters()
+
+
+class StreamingKeyframePlacer:
+    """Stateful frame-type decision, one frame at a time.
+
+    Placement rules, applied in order for every frame:
+
+    1. the first frame is always an I-frame;
+    2. if ``gop_size`` frames have passed since the last I-frame, force an
+       I-frame;
+    3. if the scene-cut decision fires (now, or fired earlier but was held
+       back by the minimum key-frame interval — the request is *latched*)
+       and at least ``min_gop`` frames have passed since the last I-frame,
+       emit an I-frame;
+    4. otherwise emit a P-frame.
+
+    The latching in rule 3 matters for event detection: when an object is
+    crossing the scene the scene-cut signal fires continuously, so the last
+    I-frame before the object disappears may be closer than ``min_gop`` to
+    the disappearance itself; without latching that final scene cut would be
+    dropped and the "object left" event would never receive an I-frame.
+    """
+
+    def __init__(self, parameters: EncoderParameters) -> None:
+        self.parameters = parameters
+        self._since_keyframe = 0
+        self._pending_scenecut = False
+        self._frame_count = 0
+
+    def reset(self) -> None:
+        """Restart the placer for a new video."""
+        self._since_keyframe = 0
+        self._pending_scenecut = False
+        self._frame_count = 0
+
+    def decide(self, activity: FrameActivity) -> FrameType:
+        """Return the frame type of the next frame of the stream."""
+        parameters = self.parameters
+        min_gop = parameters.effective_min_gop
+        is_first_frame = self._frame_count == 0 or activity.is_first
+        self._frame_count += 1
+        if is_first_frame:
+            self._since_keyframe = 0
+            self._pending_scenecut = False
+            return FrameType.I
+        self._since_keyframe += 1
+        if is_scenecut(activity, parameters.scenecut_threshold):
+            self._pending_scenecut = True
+        if self._since_keyframe >= parameters.gop_size:
+            self._since_keyframe = 0
+            self._pending_scenecut = False
+            return FrameType.I
+        if self._pending_scenecut and self._since_keyframe >= min_gop:
+            self._since_keyframe = 0
+            self._pending_scenecut = False
+            return FrameType.I
+        return FrameType.P
+
+
+class KeyframePlacer:
+    """Convert frame-activity series + encoder parameters into frame types.
+
+    Args:
+        parameters: Encoder configuration.
+    """
+
+    def __init__(self, parameters: EncoderParameters) -> None:
+        self.parameters = parameters
+
+    def place(self, activities: Sequence[FrameActivity]) -> List[FrameType]:
+        """Assign a :class:`FrameType` to every analysed frame.
+
+        See :class:`StreamingKeyframePlacer` for the placement rules.
+        """
+        placer = StreamingKeyframePlacer(self.parameters)
+        return [placer.decide(activity) for activity in activities]
+
+    def keyframe_indices(self, activities: Sequence[FrameActivity]) -> List[int]:
+        """Indices of the frames that would be encoded as I-frames."""
+        return [index for index, frame_type in enumerate(self.place(activities))
+                if frame_type is FrameType.I]
+
+
+def keyframe_flags(frame_types: Sequence[FrameType]) -> np.ndarray:
+    """Boolean array marking the I-frames of a frame-type sequence."""
+    return np.array([frame_type is FrameType.I for frame_type in frame_types],
+                    dtype=bool)
+
+
+def sampling_fraction(frame_types: Sequence[FrameType]) -> float:
+    """Fraction of frames that are I-frames (the paper's sample size *SS*)."""
+    if not frame_types:
+        return 0.0
+    return float(keyframe_flags(frame_types).mean())
+
+
+def filtering_rate(frame_types: Sequence[FrameType]) -> float:
+    """Fraction of frames that are *not* I-frames (the paper's ``fr_i``)."""
+    return 1.0 - sampling_fraction(frame_types)
+
+
+def gop_lengths(frame_types: Sequence[FrameType]) -> List[int]:
+    """Lengths of every GOP (distance between consecutive I-frames)."""
+    indices = [index for index, frame_type in enumerate(frame_types)
+               if frame_type is FrameType.I]
+    if not indices:
+        return [len(frame_types)] if frame_types else []
+    lengths = [later - earlier for earlier, later in zip(indices, indices[1:])]
+    lengths.append(len(frame_types) - indices[-1])
+    return lengths

@@ -1,0 +1,130 @@
+"""Library-wide configuration objects.
+
+Most components take their own dataclass configs (encoder parameters, scene
+profiles, node specs, ...).  This module holds the handful of settings that
+are shared across subsystems, most importantly the default hardware
+calibration used by the discrete-event cost model that stands in for the
+paper's physical edge/cloud testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict
+
+from .errors import ConfigurationError
+
+#: Default wide-area bandwidth between edge and cloud, from Section V of the
+#: paper ("We control the bandwidth from edge to cloud server to be 30 Mbps").
+DEFAULT_EDGE_CLOUD_BANDWIDTH_MBPS = 30.0
+
+#: Default local bandwidth between camera and edge (not constrained in the
+#: paper; cameras stream over a local network).
+DEFAULT_CAMERA_EDGE_BANDWIDTH_MBPS = 100.0
+
+#: Resolution the paper resizes I-frames to before shipping them to the
+#: cloud-side YOLO model ("resizing them to the resolution of the YOLO model
+#: (i.e., 300x300)").
+NN_INPUT_RESOLUTION = (300, 300)
+
+
+@dataclass(frozen=True)
+class HardwareCalibration:
+    """Per-operation costs used by the simulated cluster.
+
+    The values are calibrated to the measurements reported in Section V of
+    the paper for the edge desktop (Intel i7-5600) and mirror the relative
+    costs the evaluation depends on:
+
+    * I-frame seeking costs ``seek_ms_per_frame_1080p`` scaled by resolution
+      (0.43 ms/frame at 1080p, Table III discussion).
+    * Full-frame decode costs ``decode_ms_per_frame_1080p`` scaled by
+      resolution (8 ms/frame at 1080p).
+    * MSE / SIFT similarity add their own per-pixel costs on top of decode.
+    * NN inference has a fixed per-frame cost that differs between edge and
+      cloud (the cloud Xeon is faster for batch NN serving in the paper's
+      setup because it hosts the full model).
+
+    Attributes:
+        seek_ms_per_frame_1080p: Metadata-only I-frame seek cost at 1080p.
+        decode_ms_per_frame_1080p: Full decode cost per frame at 1080p.
+        mse_ms_per_frame_1080p: MSE similarity cost per decoded frame at 1080p.
+        sift_ms_per_frame_1080p: SIFT feature+match cost per frame at 1080p.
+        jpeg_decode_ms_per_frame_1080p: Still-image decode of one I-frame.
+        resize_ms_per_frame: Cost of resizing a decoded frame to the NN input.
+        edge_nn_ms_per_frame: NN inference per frame on the edge device.
+        cloud_nn_ms_per_frame: NN inference per frame on the cloud server.
+        edge_speed_factor: Relative CPU speed of the edge device (1.0 = edge).
+        cloud_speed_factor: Relative CPU speed of the cloud server.
+    """
+
+    seek_ms_per_frame_1080p: float = 0.43
+    decode_ms_per_frame_1080p: float = 11.0
+    mse_ms_per_frame_1080p: float = 37.0
+    sift_ms_per_frame_1080p: float = 54.0
+    jpeg_decode_ms_per_frame_1080p: float = 6.0
+    resize_ms_per_frame: float = 1.5
+    edge_nn_ms_per_frame: float = 150.0
+    cloud_nn_ms_per_frame: float = 45.0
+    edge_speed_factor: float = 1.0
+    cloud_speed_factor: float = 2.2
+
+    def __post_init__(self) -> None:
+        for name, value in asdict(self).items():
+            if value <= 0:
+                raise ConfigurationError(
+                    f"HardwareCalibration.{name} must be positive, got {value!r}")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the calibration as a plain dictionary."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration for an end-to-end SiEVE deployment.
+
+    Attributes:
+        edge_cloud_bandwidth_mbps: Simulated WAN bandwidth edge -> cloud.
+        camera_edge_bandwidth_mbps: Simulated LAN bandwidth camera -> edge.
+        edge_cloud_latency_ms: One-way propagation latency edge -> cloud.
+        camera_edge_latency_ms: One-way propagation latency camera -> edge.
+        hardware: Per-operation cost calibration.
+        nn_input_resolution: (width, height) frames are resized to before NN
+            inference / upload.
+        seed: Root seed for all stochastic components.
+    """
+
+    edge_cloud_bandwidth_mbps: float = DEFAULT_EDGE_CLOUD_BANDWIDTH_MBPS
+    camera_edge_bandwidth_mbps: float = DEFAULT_CAMERA_EDGE_BANDWIDTH_MBPS
+    edge_cloud_latency_ms: float = 40.0
+    camera_edge_latency_ms: float = 5.0
+    hardware: HardwareCalibration = field(default_factory=HardwareCalibration)
+    nn_input_resolution: tuple = NN_INPUT_RESOLUTION
+    seed: int = 20200601
+
+    def __post_init__(self) -> None:
+        if self.edge_cloud_bandwidth_mbps <= 0:
+            raise ConfigurationError("edge_cloud_bandwidth_mbps must be positive")
+        if self.camera_edge_bandwidth_mbps <= 0:
+            raise ConfigurationError("camera_edge_bandwidth_mbps must be positive")
+        if self.edge_cloud_latency_ms < 0 or self.camera_edge_latency_ms < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        width, height = self.nn_input_resolution
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("nn_input_resolution must be positive")
+
+    def with_bandwidth(self, edge_cloud_mbps: float) -> "SystemConfig":
+        """Return a copy with a different edge->cloud bandwidth."""
+        return SystemConfig(
+            edge_cloud_bandwidth_mbps=edge_cloud_mbps,
+            camera_edge_bandwidth_mbps=self.camera_edge_bandwidth_mbps,
+            edge_cloud_latency_ms=self.edge_cloud_latency_ms,
+            camera_edge_latency_ms=self.camera_edge_latency_ms,
+            hardware=self.hardware,
+            nn_input_resolution=self.nn_input_resolution,
+            seed=self.seed,
+        )
+
+
+DEFAULT_SYSTEM_CONFIG = SystemConfig()

@@ -1,0 +1,131 @@
+"""Deployment modes and the NN deployment service.
+
+Figure 4/5 of the paper compare five end-to-end deployments, reproduced by
+:class:`DeploymentMode`.  The NN deployment service of Figure 1 additionally
+decides *where the network's layers live*: all on the edge, all in the
+cloud, or split at a layer boundary (Neurosurgeon); :class:`NNDeploymentService`
+implements that decision for the reference network.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import PipelineError
+from ..nn.model import SequentialModel
+from ..nn.partition import NeurosurgeonPartitioner, PartitionDecision
+from ..nn.profiler import CLOUD_DEVICE, EDGE_DEVICE, DeviceSpec
+
+
+class DeploymentMode(enum.Enum):
+    """The five end-to-end baselines of Section V-B."""
+
+    #: I-frame seeking on the edge, NN inference in the cloud (3-tier SiEVE).
+    IFRAME_EDGE_CLOUD_NN = "iframe_edge_cloud_nn"
+    #: Full video shipped to the cloud; seeking and NN both in the cloud.
+    IFRAME_CLOUD_CLOUD_NN = "iframe_cloud_cloud_nn"
+    #: I-frame seeking and NN inference both on the edge.
+    IFRAME_EDGE_EDGE_NN = "iframe_edge_edge_nn"
+    #: Uniform sampling on the edge (default encoding), NN in the cloud.
+    UNIFORM_EDGE_CLOUD_NN = "uniform_edge_cloud_nn"
+    #: MSE filtering on the edge (default encoding), NN in the cloud.
+    MSE_EDGE_CLOUD_NN = "mse_edge_cloud_nn"
+
+    @property
+    def uses_semantic_encoding(self) -> bool:
+        """Whether the mode operates on the semantically encoded video."""
+        return self in (DeploymentMode.IFRAME_EDGE_CLOUD_NN,
+                        DeploymentMode.IFRAME_CLOUD_CLOUD_NN,
+                        DeploymentMode.IFRAME_EDGE_EDGE_NN)
+
+    @property
+    def nn_device(self) -> str:
+        """Where NN inference runs for this mode."""
+        return "edge" if self is DeploymentMode.IFRAME_EDGE_EDGE_NN else "cloud"
+
+    @property
+    def label(self) -> str:
+        """The legend label used in Figure 4/5."""
+        return {
+            DeploymentMode.IFRAME_EDGE_CLOUD_NN: "I-frame edge + Cloud NN",
+            DeploymentMode.IFRAME_CLOUD_CLOUD_NN: "I-frame Cloud + Cloud NN",
+            DeploymentMode.IFRAME_EDGE_EDGE_NN: "I-frame edge + edge NN",
+            DeploymentMode.UNIFORM_EDGE_CLOUD_NN: "Uniform Sampling edge + Cloud NN",
+            DeploymentMode.MSE_EDGE_CLOUD_NN: "MSE Edge + Cloud NN",
+        }[self]
+
+
+#: All modes in the order the paper's figures list them.
+ALL_DEPLOYMENT_MODES = (
+    DeploymentMode.IFRAME_EDGE_CLOUD_NN,
+    DeploymentMode.IFRAME_CLOUD_CLOUD_NN,
+    DeploymentMode.IFRAME_EDGE_EDGE_NN,
+    DeploymentMode.UNIFORM_EDGE_CLOUD_NN,
+    DeploymentMode.MSE_EDGE_CLOUD_NN,
+)
+
+
+class NNPlacement(enum.Enum):
+    """Where the reference network's layers execute."""
+
+    EDGE_ONLY = "edge"
+    CLOUD_ONLY = "cloud"
+    SPLIT = "split"
+
+
+@dataclass(frozen=True)
+class NNDeploymentPlan:
+    """Concrete layer placement produced by the deployment service.
+
+    Attributes:
+        placement: Edge-only, cloud-only or split.
+        split_index: Number of layers on the edge (only meaningful for SPLIT,
+            where ``0 < split_index < num_layers``).
+        partition: The full Neurosurgeon decision when a split was evaluated.
+    """
+
+    placement: NNPlacement
+    split_index: int
+    partition: Optional[PartitionDecision] = None
+
+
+class NNDeploymentService:
+    """Decides the layer placement of the reference network (Figure 1).
+
+    Args:
+        model: The reference network.
+        edge_device: Edge compute capability.
+        cloud_device: Cloud compute capability.
+    """
+
+    def __init__(self, model: SequentialModel,
+                 edge_device: DeviceSpec = EDGE_DEVICE,
+                 cloud_device: DeviceSpec = CLOUD_DEVICE) -> None:
+        self.model = model
+        self.edge_device = edge_device
+        self.cloud_device = cloud_device
+
+    def plan(self, placement: NNPlacement,
+             bandwidth_mbps: Optional[float] = None,
+             latency_ms: float = 0.0) -> NNDeploymentPlan:
+        """Produce a placement plan.
+
+        ``EDGE_ONLY``/``CLOUD_ONLY`` need no network information; ``SPLIT``
+        runs the Neurosurgeon search and therefore requires the edge->cloud
+        bandwidth.
+        """
+        if placement is NNPlacement.EDGE_ONLY:
+            return NNDeploymentPlan(placement=placement,
+                                    split_index=self.model.num_layers)
+        if placement is NNPlacement.CLOUD_ONLY:
+            return NNDeploymentPlan(placement=placement, split_index=0)
+        if bandwidth_mbps is None or bandwidth_mbps <= 0:
+            raise PipelineError("a SPLIT plan requires a positive bandwidth")
+        partitioner = NeurosurgeonPartitioner(self.model, self.edge_device,
+                                              self.cloud_device)
+        decision = partitioner.decide(bandwidth_mbps, latency_ms)
+        return NNDeploymentPlan(placement=placement,
+                                split_index=decision.best.split_index,
+                                partition=decision)

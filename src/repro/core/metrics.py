@@ -1,0 +1,217 @@
+"""Evaluation metrics for event detection (Section IV and V-A of the paper).
+
+The paper scores an encoder configuration (or a baseline change detector) by
+three quantities:
+
+* **accuracy** (``acc_i``) — per-frame object-label accuracy when every
+  sampled frame is labelled by the reference NN and every other frame
+  inherits the labels of the most recent sampled frame;
+* **filtering rate** (``fr_i``) — the fraction of frames that are *not*
+  sampled (the paper also reports its complement, the sample size *SS*);
+* **F1 score** — the harmonic mean of accuracy and filtering rate, used by
+  the offline tuner to pick the best configuration.
+
+Two accuracy variants are provided.  :func:`propagation_accuracy` is the
+per-frame label accuracy actually used in the evaluation (Figure 3,
+Table II).  :func:`event_start_accuracy` is the formulation of Section IV
+(each event contributes the fraction of its frames from the event start to
+its first I-frame); the two coincide when every event contains at least one
+sampled frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..video.events import EventTimeline, LabelSet, NO_LABEL
+
+
+def _validate_samples(sample_indices: Sequence[int], num_frames: int) -> List[int]:
+    indices = sorted(set(int(index) for index in sample_indices))
+    if indices and (indices[0] < 0 or indices[-1] >= num_frames):
+        raise ConfigurationError(
+            f"sample indices must lie in [0, {num_frames}), got "
+            f"{indices[0]}..{indices[-1]}")
+    return indices
+
+
+def propagate_labels(timeline: EventTimeline,
+                     sample_indices: Sequence[int]) -> List[LabelSet]:
+    """Propagate the labels of sampled frames to every frame.
+
+    Sampled frames are assumed to be labelled perfectly by the reference NN
+    (the paper's assumption: the NN is the ground-truth oracle for the frames
+    it sees); every other frame inherits the labels of the most recent
+    sampled frame.  Frames before the first sample are labelled as background.
+
+    Args:
+        timeline: Ground-truth event timeline.
+        sample_indices: Indices of the frames that undergo NN inference.
+
+    Returns:
+        One label set per frame.
+    """
+    indices = _validate_samples(sample_indices, timeline.num_frames)
+    labels: List[LabelSet] = []
+    current: LabelSet = NO_LABEL
+    sample_cursor = 0
+    for frame_index in range(timeline.num_frames):
+        while sample_cursor < len(indices) and indices[sample_cursor] == frame_index:
+            current = timeline.labels_at(frame_index)
+            sample_cursor += 1
+        labels.append(current)
+    return labels
+
+
+def propagation_accuracy(timeline: EventTimeline,
+                         sample_indices: Sequence[int]) -> float:
+    """Per-frame label accuracy under label propagation from sampled frames."""
+    predicted = propagate_labels(timeline, sample_indices)
+    truth = timeline.frame_labels()
+    correct = sum(1 for observed, expected in zip(predicted, truth)
+                  if observed == expected)
+    return correct / timeline.num_frames
+
+
+def event_start_accuracy(timeline: EventTimeline,
+                         sample_indices: Sequence[int]) -> float:
+    """Accuracy as defined in Section IV of the paper.
+
+    Every event contributes its full frame count when it starts with a
+    sampled frame; otherwise the frames from the event start until the first
+    sampled frame inside the event (or the whole event, if it contains no
+    sample) are counted as wrong.
+    """
+    indices = np.array(_validate_samples(sample_indices, timeline.num_frames),
+                       dtype=np.int64)
+    wrong = 0
+    for event in timeline.events:
+        inside = indices[(indices >= event.start_frame) & (indices < event.end_frame)]
+        if inside.size == 0:
+            wrong += event.num_frames
+        else:
+            wrong += int(inside.min()) - event.start_frame
+    return 1.0 - wrong / timeline.num_frames
+
+
+def sampling_fraction(sample_indices: Sequence[int], num_frames: int) -> float:
+    """Fraction of frames that are sampled (the paper's *SS*)."""
+    if num_frames <= 0:
+        raise ConfigurationError("num_frames must be positive")
+    return len(set(sample_indices)) / num_frames
+
+
+def filtering_rate(sample_indices: Sequence[int], num_frames: int) -> float:
+    """Fraction of frames filtered out before NN inference (``fr_i``)."""
+    return 1.0 - sampling_fraction(sample_indices, num_frames)
+
+
+def f1_score(accuracy: float, filtering: float) -> float:
+    """Harmonic mean of accuracy and filtering rate (Section IV)."""
+    if accuracy < 0 or filtering < 0:
+        raise ConfigurationError("accuracy and filtering rate must be non-negative")
+    if accuracy + filtering == 0:
+        return 0.0
+    return 2.0 * accuracy * filtering / (accuracy + filtering)
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Full score of one event-detection configuration.
+
+    Attributes:
+        accuracy: Per-frame label accuracy (propagation variant).
+        event_accuracy: Section-IV accuracy variant.
+        sampling_fraction: Fraction of frames sampled (*SS*).
+        filtering_rate: Fraction of frames filtered (``fr``).
+        f1: Harmonic mean of accuracy and filtering rate.
+        num_samples: Number of sampled frames.
+        num_frames: Total number of frames.
+    """
+
+    accuracy: float
+    event_accuracy: float
+    sampling_fraction: float
+    filtering_rate: float
+    f1: float
+    num_samples: int
+    num_frames: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view (used by the experiment tables)."""
+        return {
+            "accuracy": self.accuracy,
+            "event_accuracy": self.event_accuracy,
+            "sampling_fraction": self.sampling_fraction,
+            "filtering_rate": self.filtering_rate,
+            "f1": self.f1,
+            "num_samples": float(self.num_samples),
+            "num_frames": float(self.num_frames),
+        }
+
+
+def evaluate_sampling(timeline: EventTimeline,
+                      sample_indices: Sequence[int]) -> DetectionScore:
+    """Score a set of sampled frame indices against the ground truth.
+
+    Args:
+        timeline: Ground-truth event timeline.
+        sample_indices: Indices of frames that undergo NN inference (for
+            SiEVE these are the I-frames; for the baselines, the frames whose
+            change signal crossed the threshold).
+
+    Returns:
+        The full :class:`DetectionScore`.
+    """
+    indices = _validate_samples(sample_indices, timeline.num_frames)
+    accuracy = propagation_accuracy(timeline, indices)
+    event_acc = event_start_accuracy(timeline, indices)
+    fraction = sampling_fraction(indices, timeline.num_frames)
+    filtering = 1.0 - fraction
+    return DetectionScore(
+        accuracy=accuracy,
+        event_accuracy=event_acc,
+        sampling_fraction=fraction,
+        filtering_rate=filtering,
+        f1=f1_score(accuracy, filtering),
+        num_samples=len(indices),
+        num_frames=timeline.num_frames,
+    )
+
+
+def detection_latencies(timeline: EventTimeline,
+                        sample_indices: Sequence[int]) -> List[Optional[int]]:
+    """Per-event detection latency in frames.
+
+    For every event, the number of frames between the event start and the
+    first sampled frame inside the event, or ``None`` when the event contains
+    no sampled frame at all.
+    """
+    indices = np.array(_validate_samples(sample_indices, timeline.num_frames),
+                       dtype=np.int64)
+    latencies: List[Optional[int]] = []
+    for event in timeline.events:
+        inside = indices[(indices >= event.start_frame) & (indices < event.end_frame)]
+        latencies.append(int(inside.min()) - event.start_frame if inside.size else None)
+    return latencies
+
+
+def summarize_latencies(latencies: Sequence[Optional[int]]) -> Dict[str, float]:
+    """Aggregate latency statistics (mean/median/miss rate)."""
+    observed = [latency for latency in latencies if latency is not None]
+    missed = sum(1 for latency in latencies if latency is None)
+    if not latencies:
+        return {"mean": 0.0, "median": 0.0, "max": 0.0, "miss_rate": 0.0}
+    if not observed:
+        return {"mean": float("inf"), "median": float("inf"), "max": float("inf"),
+                "miss_rate": 1.0}
+    return {
+        "mean": float(np.mean(observed)),
+        "median": float(np.median(observed)),
+        "max": float(np.max(observed)),
+        "miss_rate": missed / len(latencies),
+    }

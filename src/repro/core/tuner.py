@@ -1,0 +1,226 @@
+"""Offline tuning of the semantic video encoder (Section IV, Figure 2).
+
+The tuner reproduces the three-step offline procedure of the paper:
+
+1. re-encode historical, labelled footage of a camera under every
+   configuration of a ``k x l`` grid of (GOP size, scenecut threshold)
+   values;
+2. score every configuration by the event-detection accuracy ``acc_i`` and
+   the filtering rate ``fr_i`` of its I-frame placement, combined into the
+   F1 score ``2*acc*fr/(acc+fr)``;
+3. keep the configuration with the highest F1 score; it is stored in a
+   lookup table and used to encode the camera's live feed from then on.
+
+Re-encoding the footage k*l times is unnecessary with this codec: I-frame
+placement is a pure function of the parameter pair and the per-frame
+scene-cut analysis, which is parameter independent.  The tuner therefore
+runs the analysis pass once and replays the placement for every
+configuration, which is what makes the grid search cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codec.encoder import VideoEncoder
+from ..codec.gop import EncoderParameters, KeyframePlacer
+from ..codec.scenecut import FrameActivity
+from ..errors import TuningError
+from ..logging_utils import get_logger
+from ..video.events import EventTimeline
+from ..video.raw_video import VideoSource
+from .metrics import DetectionScore, evaluate_sampling
+
+_LOGGER = get_logger(__name__)
+
+#: The grid explored by the paper: k = 5 GOP sizes and l = 5 scenecut values.
+DEFAULT_GOP_GRID: Tuple[int, ...] = (100, 250, 500, 1000, 5000)
+DEFAULT_SCENECUT_GRID: Tuple[float, ...] = (20.0, 40.0, 100.0, 200.0, 250.0)
+
+
+@dataclass(frozen=True)
+class TuningGrid:
+    """The configuration grid explored by the offline tuner.
+
+    Attributes:
+        gop_sizes: Candidate GOP sizes (the paper's ``k`` values).
+        scenecut_thresholds: Candidate scenecut thresholds (``l`` values).
+    """
+
+    gop_sizes: Tuple[int, ...] = DEFAULT_GOP_GRID
+    scenecut_thresholds: Tuple[float, ...] = DEFAULT_SCENECUT_GRID
+
+    def __post_init__(self) -> None:
+        if not self.gop_sizes or not self.scenecut_thresholds:
+            raise TuningError("the tuning grid must not be empty")
+
+    @property
+    def num_configurations(self) -> int:
+        """Total number of configurations (k * l)."""
+        return len(self.gop_sizes) * len(self.scenecut_thresholds)
+
+    def configurations(self, base: Optional[EncoderParameters] = None
+                       ) -> List[EncoderParameters]:
+        """Materialise every (GOP, scenecut) configuration of the grid."""
+        base = base or EncoderParameters()
+        return [base.with_(gop_size=gop, scenecut_threshold=scenecut)
+                for gop in self.gop_sizes
+                for scenecut in self.scenecut_thresholds]
+
+
+@dataclass(frozen=True)
+class ConfigurationResult:
+    """Score of one configuration of the grid.
+
+    Attributes:
+        parameters: The evaluated encoder configuration.
+        score: Its event-detection score on the tuning footage.
+        keyframe_indices: The I-frame placement it produced.
+    """
+
+    parameters: EncoderParameters
+    score: DetectionScore
+    keyframe_indices: Tuple[int, ...] = field(default=(), repr=False)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a full grid search.
+
+    Attributes:
+        best: The configuration with the highest F1 score.
+        results: Every configuration's result, in grid order.
+        camera_name: Name of the tuned camera/dataset.
+    """
+
+    best: ConfigurationResult
+    results: List[ConfigurationResult]
+    camera_name: str = ""
+
+    @property
+    def best_parameters(self) -> EncoderParameters:
+        """The tuned encoder parameters."""
+        return self.best.parameters
+
+    def leaderboard(self, top: int = 5) -> List[ConfigurationResult]:
+        """The ``top`` configurations ordered by descending F1 score."""
+        ranked = sorted(self.results, key=lambda result: result.score.f1, reverse=True)
+        return ranked[:top]
+
+    def as_table(self) -> List[Dict[str, float]]:
+        """Tabular view of the grid (used by the tuning example)."""
+        return [{
+            "gop_size": result.parameters.gop_size,
+            "scenecut": result.parameters.scenecut_threshold,
+            "accuracy": result.score.accuracy,
+            "sampling_fraction": result.score.sampling_fraction,
+            "f1": result.score.f1,
+        } for result in self.results]
+
+
+class SemanticEncoderTuner:
+    """Grid-search tuner for the semantic video encoder.
+
+    Args:
+        grid: The (GOP, scenecut) grid to explore.
+        base_parameters: Template providing the non-tuned parameters
+            (quality, block size, motion-search radius).
+    """
+
+    def __init__(self, grid: Optional[TuningGrid] = None,
+                 base_parameters: Optional[EncoderParameters] = None) -> None:
+        self.grid = grid or TuningGrid()
+        self.base_parameters = base_parameters or EncoderParameters()
+
+    # ------------------------------------------------------------------ #
+    # Grid search
+    # ------------------------------------------------------------------ #
+    def analyze(self, video: VideoSource) -> List[FrameActivity]:
+        """Run the parameter-independent analysis pass over the footage."""
+        return VideoEncoder(self.base_parameters).analyze(video)
+
+    def tune_from_activities(self, activities: Sequence[FrameActivity],
+                             timeline: EventTimeline,
+                             camera_name: str = "") -> TuningResult:
+        """Grid-search using a precomputed analysis pass.
+
+        Args:
+            activities: Per-frame analysis of the tuning footage.
+            timeline: Ground-truth event timeline of the same footage.
+            camera_name: Name recorded in the result.
+
+        Returns:
+            The :class:`TuningResult`.
+
+        Raises:
+            TuningError: If the analysis pass and timeline disagree in length.
+        """
+        if len(activities) != timeline.num_frames:
+            raise TuningError(
+                f"analysis pass covers {len(activities)} frames but the timeline "
+                f"has {timeline.num_frames}")
+        results: List[ConfigurationResult] = []
+        for parameters in self.grid.configurations(self.base_parameters):
+            keyframes = KeyframePlacer(parameters).keyframe_indices(activities)
+            score = evaluate_sampling(timeline, keyframes)
+            results.append(ConfigurationResult(parameters=parameters, score=score,
+                                               keyframe_indices=tuple(keyframes)))
+        best = max(results, key=lambda result: result.score.f1)
+        _LOGGER.debug("tuned %s: best %s (F1=%.3f, acc=%.3f, SS=%.4f)",
+                      camera_name or "camera", best.parameters.describe(),
+                      best.score.f1, best.score.accuracy,
+                      best.score.sampling_fraction)
+        return TuningResult(best=best, results=results, camera_name=camera_name)
+
+    def tune(self, video: VideoSource, timeline: Optional[EventTimeline] = None,
+             camera_name: str = "") -> TuningResult:
+        """Analyse the footage and grid-search the best configuration.
+
+        Args:
+            video: Labelled tuning footage.
+            timeline: Ground truth; defaults to the video's own ``timeline``.
+            camera_name: Name recorded in the result (defaults to the video
+                name).
+
+        Returns:
+            The :class:`TuningResult`.
+        """
+        timeline = timeline if timeline is not None else getattr(video, "timeline", None)
+        if timeline is None:
+            raise TuningError("tuning requires a ground-truth event timeline")
+        activities = self.analyze(video)
+        return self.tune_from_activities(activities, timeline,
+                                         camera_name or video.metadata.name)
+
+
+class ParameterLookupTable:
+    """The per-camera lookup table of tuned parameters (Section IV).
+
+    The operator tunes each camera offline and stores the winning parameters
+    here; the online path reads them back when configuring the camera.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, EncoderParameters] = {}
+
+    def store(self, camera_name: str, parameters: EncoderParameters) -> None:
+        """Record the tuned parameters of a camera."""
+        self._entries[camera_name] = parameters
+
+    def lookup(self, camera_name: str) -> EncoderParameters:
+        """Fetch the tuned parameters of a camera."""
+        try:
+            return self._entries[camera_name]
+        except KeyError as exc:
+            raise TuningError(f"no tuned parameters stored for {camera_name!r}") from exc
+
+    def __contains__(self, camera_name: str) -> bool:
+        return camera_name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def as_dict(self) -> Dict[str, EncoderParameters]:
+        """A copy of the underlying mapping."""
+        return dict(self._entries)

@@ -1,0 +1,18 @@
+"""NiFi-like dataflow engine and Echo-like orchestration."""
+
+from .builtin_ops import (DecodeKeyframeOperator, DetectObjectsOperator, FrameTask,
+                          ResizeOperator, ResultWriterOperator,
+                          frame_tasks_from_encoded)
+from .engine import DataflowEngine
+from .operator import (FilterOperator, FunctionOperator, Operator, OperatorResult,
+                       SinkOperator, SourceOperator)
+from .orchestrator import Orchestrator, StageResult
+
+__all__ = [
+    "DecodeKeyframeOperator", "DetectObjectsOperator", "FrameTask",
+    "ResizeOperator", "ResultWriterOperator", "frame_tasks_from_encoded",
+    "DataflowEngine",
+    "FilterOperator", "FunctionOperator", "Operator", "OperatorResult",
+    "SinkOperator", "SourceOperator",
+    "Orchestrator", "StageResult",
+]

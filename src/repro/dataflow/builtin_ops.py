@@ -1,0 +1,164 @@
+"""Ready-made operators for video-analytics dataflows.
+
+These are the processors the SiEVE prototype composes inside its NiFi
+engines: decoding I-frames, resizing them to the NN input resolution,
+running the object detector, and writing results.  Each operator performs
+the real computation on the frame payloads it receives *and* reports a
+simulated cost from the cluster's calibration, so the same graph serves both
+the functional integration tests and the throughput evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..codec.bitstream import EncodedFrame
+from ..codec.decoder import VideoDecoder
+from ..errors import DataflowError
+from ..nn.oracle import ObjectDetector
+from ..video.events import LabelSet
+from ..video.frame import Frame
+from ..vision.imageops import resize
+from .operator import Operator, OperatorResult
+
+
+@dataclass
+class FrameTask:
+    """Work item flowing through the analytics dataflow.
+
+    Attributes:
+        video_name: Source video.
+        frame_index: Index of the frame in its video.
+        encoded: The encoded frame (present until decoding).
+        pixels: Decoded (and possibly resized) pixel data.
+        labels: Object labels, filled in by the detector.
+        size_bytes: Current serialised size of the item (used for transfer
+            accounting when the item crosses the edge -> cloud channel).
+    """
+
+    video_name: str
+    frame_index: int
+    encoded: Optional[EncodedFrame] = None
+    pixels: Optional[np.ndarray] = None
+    labels: Optional[LabelSet] = None
+    size_bytes: int = 0
+
+
+class DecodeKeyframeOperator(Operator):
+    """Decode an I-frame payload into pixels (still-image decode).
+
+    Args:
+        name: Operator name.
+        cost_per_frame_seconds: Simulated decode cost charged per frame.
+        functional: When ``True`` the payload is really decoded; when
+            ``False`` (size-only encodings) the operator only does the cost
+            accounting and leaves ``pixels`` empty.
+    """
+
+    def __init__(self, name: str, cost_per_frame_seconds: float = 0.0,
+                 functional: bool = True) -> None:
+        super().__init__(name)
+        self.cost_per_frame_seconds = float(cost_per_frame_seconds)
+        self.functional = functional
+        self._decoder = VideoDecoder()
+
+    def process(self, item: FrameTask) -> OperatorResult:
+        if not isinstance(item, FrameTask):
+            raise DataflowError(f"{self.name} expects FrameTask items")
+        if self.functional and item.encoded is not None and item.encoded.has_payload:
+            item.pixels = self._decoder.decode_keyframe(item.encoded)
+            item.size_bytes = int(item.pixels.size)
+        return self._account(OperatorResult(outputs=[item],
+                                            cost_seconds=self.cost_per_frame_seconds))
+
+
+class ResizeOperator(Operator):
+    """Resize decoded frames to the NN input resolution.
+
+    Args:
+        name: Operator name.
+        target: ``(width, height)`` target resolution.
+        cost_per_frame_seconds: Simulated resize cost per frame.
+        compressed_size_fn: Callable estimating the size of the resized frame
+            as shipped over the network (defaults to one byte per pixel,
+            approximating a JPEG of the thumbnail).
+    """
+
+    def __init__(self, name: str, target: Tuple[int, int],
+                 cost_per_frame_seconds: float = 0.0,
+                 compressed_size_fn: Optional[Callable[[np.ndarray], int]] = None
+                 ) -> None:
+        super().__init__(name)
+        self.target = target
+        self.cost_per_frame_seconds = float(cost_per_frame_seconds)
+        self._compressed_size_fn = compressed_size_fn
+
+    def process(self, item: FrameTask) -> OperatorResult:
+        if not isinstance(item, FrameTask):
+            raise DataflowError(f"{self.name} expects FrameTask items")
+        if item.pixels is not None:
+            item.pixels = resize(item.pixels, self.target)
+            if self._compressed_size_fn is not None:
+                item.size_bytes = int(self._compressed_size_fn(item.pixels))
+            else:
+                item.size_bytes = int(item.pixels.size)
+        return self._account(OperatorResult(outputs=[item],
+                                            cost_seconds=self.cost_per_frame_seconds))
+
+
+class DetectObjectsOperator(Operator):
+    """Run the object detector on each frame task.
+
+    Args:
+        name: Operator name.
+        detector: Per-frame object detector (oracle or NN-backed).
+        cost_per_frame_seconds: Simulated NN inference cost per frame.
+    """
+
+    def __init__(self, name: str, detector: ObjectDetector,
+                 cost_per_frame_seconds: float = 0.0) -> None:
+        super().__init__(name)
+        self.detector = detector
+        self.cost_per_frame_seconds = float(cost_per_frame_seconds)
+
+    def process(self, item: FrameTask) -> OperatorResult:
+        if not isinstance(item, FrameTask):
+            raise DataflowError(f"{self.name} expects FrameTask items")
+        item.labels = self.detector.detect(item.frame_index, item.pixels)
+        return self._account(OperatorResult(outputs=[item],
+                                            cost_seconds=self.cost_per_frame_seconds))
+
+
+class ResultWriterOperator(Operator):
+    """Write ``(frame_id, labels)`` tuples into a result store.
+
+    Args:
+        name: Operator name.
+        store: Mutable mapping-like object with a ``record`` method (the
+            cloud's result database) or a plain dict.
+    """
+
+    def __init__(self, name: str, store) -> None:
+        super().__init__(name)
+        self.store = store
+
+    def process(self, item: FrameTask) -> OperatorResult:
+        if not isinstance(item, FrameTask):
+            raise DataflowError(f"{self.name} expects FrameTask items")
+        labels = item.labels if item.labels is not None else frozenset()
+        if hasattr(self.store, "record"):
+            self.store.record(item.video_name, item.frame_index, labels)
+        else:
+            self.store[(item.video_name, item.frame_index)] = labels
+        return self._account(OperatorResult(outputs=[item]))
+
+
+def frame_tasks_from_encoded(video_name: str,
+                             frames: List[EncodedFrame]) -> List[FrameTask]:
+    """Wrap encoded frames into dataflow work items."""
+    return [FrameTask(video_name=video_name, frame_index=frame.index, encoded=frame,
+                      size_bytes=frame.size_bytes)
+            for frame in frames]

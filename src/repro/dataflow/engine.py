@@ -1,0 +1,168 @@
+"""Single-node dataflow engine (the NiFi stand-in).
+
+The engine holds a directed acyclic graph of operators connected by FIFO
+queues and executes it to completion: sources are drained first, then items
+are propagated operator by operator in topological order.  Every operator
+reports a simulated processing cost; the engine accumulates these into a
+per-engine busy time, which is what the end-to-end throughput evaluation
+(Figure 4) consumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Dict, List, Optional, Set
+
+from ..errors import DataflowError
+from .operator import Operator, OperatorResult, SinkOperator, SourceOperator
+
+
+class DataflowEngine:
+    """A local dataflow engine executing a DAG of operators.
+
+    Args:
+        name: Engine name (e.g. ``"edge-nifi"``, ``"cloud-nifi"``).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._operators: Dict[str, Operator] = {}
+        self._edges: Dict[str, List[str]] = defaultdict(list)
+        self._reverse_edges: Dict[str, List[str]] = defaultdict(list)
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def add_operator(self, operator: Operator) -> Operator:
+        """Register an operator; names must be unique within the engine."""
+        if operator.name in self._operators:
+            raise DataflowError(
+                f"operator {operator.name!r} already exists in engine {self.name!r}")
+        self._operators[operator.name] = operator
+        return operator
+
+    def connect(self, upstream: str, downstream: str) -> None:
+        """Connect two registered operators by name."""
+        for name in (upstream, downstream):
+            if name not in self._operators:
+                raise DataflowError(f"unknown operator {name!r} in engine {self.name!r}")
+        if downstream in self._edges[upstream]:
+            raise DataflowError(
+                f"connection {upstream!r} -> {downstream!r} already exists")
+        self._edges[upstream].append(downstream)
+        self._reverse_edges[downstream].append(upstream)
+        self._check_acyclic()
+
+    def operator(self, name: str) -> Operator:
+        """Look up a registered operator by name."""
+        try:
+            return self._operators[name]
+        except KeyError as exc:
+            raise DataflowError(
+                f"unknown operator {name!r} in engine {self.name!r}") from exc
+
+    @property
+    def operators(self) -> List[Operator]:
+        """All registered operators."""
+        return list(self._operators.values())
+
+    def _check_acyclic(self) -> None:
+        order = self._topological_order()
+        if len(order) != len(self._operators):
+            raise DataflowError(f"engine {self.name!r} contains a cycle")
+
+    def _topological_order(self) -> List[str]:
+        in_degree = {name: 0 for name in self._operators}
+        for upstream, downstreams in self._edges.items():
+            for downstream in downstreams:
+                in_degree[downstream] += 1
+        queue = deque(sorted(name for name, degree in in_degree.items() if degree == 0))
+        order: List[str] = []
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            for downstream in self._edges.get(name, []):
+                in_degree[downstream] -= 1
+                if in_degree[downstream] == 0:
+                    queue.append(downstream)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear all operator statistics and the engine busy time."""
+        for operator in self._operators.values():
+            operator.reset_stats()
+            if isinstance(operator, SinkOperator):
+                operator.items.clear()
+        self.busy_seconds = 0.0
+
+    def run(self, external_inputs: Optional[Dict[str, List[Any]]] = None
+            ) -> Dict[str, List[Any]]:
+        """Execute the graph to completion.
+
+        Args:
+            external_inputs: Optional mapping ``operator name -> items`` to
+                feed into non-source operators (used by the orchestrator to
+                deliver items that arrived over the network).
+
+        Returns:
+            Mapping from sink operator name to the items it collected.
+
+        Raises:
+            DataflowError: If the graph is malformed.
+        """
+        if not self._operators:
+            raise DataflowError(f"engine {self.name!r} has no operators")
+        order = self._topological_order()
+        pending: Dict[str, deque] = {name: deque() for name in self._operators}
+        if external_inputs:
+            for name, items in external_inputs.items():
+                if name not in self._operators:
+                    raise DataflowError(f"unknown external input target {name!r}")
+                pending[name].extend(items)
+        # Drain the sources first.
+        for name in order:
+            operator = self._operators[name]
+            if isinstance(operator, SourceOperator):
+                result = operator.drain()
+                self._dispatch(name, result, pending)
+        # Propagate items in topological order; within one operator items are
+        # processed in FIFO order, which matches NiFi's queue semantics.
+        for name in order:
+            operator = self._operators[name]
+            if isinstance(operator, SourceOperator):
+                continue
+            queue = pending[name]
+            while queue:
+                item = queue.popleft()
+                result = operator.process(item)
+                self._dispatch(name, result, pending)
+            flush = operator.on_finish()
+            if flush.outputs or flush.cost_seconds:
+                self._dispatch(name, flush, pending)
+        return {name: list(operator.items)
+                for name, operator in self._operators.items()
+                if isinstance(operator, SinkOperator)}
+
+    def _dispatch(self, name: str, result: OperatorResult,
+                  pending: Dict[str, deque]) -> None:
+        self.busy_seconds += result.cost_seconds
+        for downstream in self._edges.get(name, []):
+            pending[downstream].extend(result.outputs)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-operator processing statistics."""
+        return {
+            name: {
+                "processed": float(operator.processed_items),
+                "emitted": float(operator.emitted_items),
+                "cost_seconds": operator.total_cost_seconds,
+            }
+            for name, operator in self._operators.items()
+        }

@@ -1,0 +1,150 @@
+"""Dataflow operators.
+
+Apache NiFi (the engine the paper deploys on both the edge and the cloud)
+executes user-defined *processors* connected by queues.  This module defines
+the operator abstraction used by our engine: an operator consumes one item
+at a time from its input queue, produces zero or more output items, and
+reports a simulated processing cost so the cluster's clock can advance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..errors import DataflowError
+
+
+@dataclass
+class OperatorResult:
+    """What an operator produced for one input item.
+
+    Attributes:
+        outputs: Items forwarded to downstream operators.
+        cost_seconds: Simulated processing time consumed by the item.
+    """
+
+    outputs: List[Any] = field(default_factory=list)
+    cost_seconds: float = 0.0
+
+
+class Operator:
+    """Base class of dataflow operators.
+
+    Subclasses implement :meth:`process`.  Operators are single-input,
+    single-output-port; fan-out is expressed by connecting one operator to
+    several downstream operators (each receives every output item).
+
+    Args:
+        name: Unique operator name within its engine.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise DataflowError("operator name must be non-empty")
+        self.name = name
+        self.processed_items = 0
+        self.emitted_items = 0
+        self.total_cost_seconds = 0.0
+
+    def process(self, item: Any) -> OperatorResult:
+        """Process one item and return the produced outputs and cost."""
+        raise NotImplementedError
+
+    def on_finish(self) -> OperatorResult:
+        """Hook called once after the upstream is exhausted (flush buffers)."""
+        return OperatorResult()
+
+    def reset_stats(self) -> None:
+        """Clear the processing counters."""
+        self.processed_items = 0
+        self.emitted_items = 0
+        self.total_cost_seconds = 0.0
+
+    def _account(self, result: OperatorResult) -> OperatorResult:
+        self.processed_items += 1
+        self.emitted_items += len(result.outputs)
+        self.total_cost_seconds += result.cost_seconds
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid.
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionOperator(Operator):
+    """Operator wrapping a plain function.
+
+    Args:
+        name: Operator name.
+        function: Callable mapping an item to an output item, a list of
+            output items, or ``None`` (drop).
+        cost_fn: Optional callable mapping the input item to a simulated
+            processing cost in seconds.
+    """
+
+    def __init__(self, name: str, function: Callable[[Any], Any],
+                 cost_fn: Optional[Callable[[Any], float]] = None) -> None:
+        super().__init__(name)
+        self._function = function
+        self._cost_fn = cost_fn
+
+    def process(self, item: Any) -> OperatorResult:
+        produced = self._function(item)
+        if produced is None:
+            outputs: List[Any] = []
+        elif isinstance(produced, list):
+            outputs = produced
+        else:
+            outputs = [produced]
+        cost = float(self._cost_fn(item)) if self._cost_fn is not None else 0.0
+        return self._account(OperatorResult(outputs=outputs, cost_seconds=cost))
+
+
+class FilterOperator(Operator):
+    """Operator that forwards only items matching a predicate."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 cost_fn: Optional[Callable[[Any], float]] = None) -> None:
+        super().__init__(name)
+        self._predicate = predicate
+        self._cost_fn = cost_fn
+
+    def process(self, item: Any) -> OperatorResult:
+        outputs = [item] if self._predicate(item) else []
+        cost = float(self._cost_fn(item)) if self._cost_fn is not None else 0.0
+        return self._account(OperatorResult(outputs=outputs, cost_seconds=cost))
+
+
+class SinkOperator(Operator):
+    """Terminal operator collecting every item it receives."""
+
+    def __init__(self, name: str = "sink") -> None:
+        super().__init__(name)
+        self.items: List[Any] = []
+
+    def process(self, item: Any) -> OperatorResult:
+        self.items.append(item)
+        return self._account(OperatorResult())
+
+
+class SourceOperator(Operator):
+    """Operator that injects a fixed sequence of items into the graph.
+
+    Sources ignore their (non-existent) input; the engine drives them by
+    calling :meth:`drain`.
+    """
+
+    def __init__(self, name: str, items: Iterable[Any],
+                 cost_per_item_seconds: float = 0.0) -> None:
+        super().__init__(name)
+        self._items = list(items)
+        self._cost_per_item = float(cost_per_item_seconds)
+
+    def drain(self) -> OperatorResult:
+        """Emit every source item at once."""
+        result = OperatorResult(outputs=list(self._items),
+                                cost_seconds=self._cost_per_item * len(self._items))
+        return self._account(result)
+
+    def process(self, item: Any) -> OperatorResult:  # pragma: no cover - defensive.
+        raise DataflowError("source operators do not accept inputs")

@@ -1,0 +1,119 @@
+"""Shared configuration and formatting helpers for the experiment harnesses.
+
+Every table/figure module accepts an :class:`ExperimentConfig` controlling
+the synthetic-footage scale.  The defaults regenerate the paper's result
+*shapes* in a few minutes on a laptop CPU; ``ExperimentConfig.quick()`` is a
+smaller setting used by the test suite, and longer/larger settings can be
+passed for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..codec.encoder import VideoEncoder
+from ..codec.gop import EncoderParameters
+from ..codec.scenecut import FrameActivity
+from ..datasets.generator import DatasetInstance, build_dataset
+from ..datasets.registry import LABELLED_DATASETS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale of the synthetic footage used by an experiment run.
+
+    Attributes:
+        duration_seconds: Length of every rendered clip.
+        render_scale: Resolution scale applied to the nominal resolutions.
+        datasets: Dataset names included in the run.
+    """
+
+    duration_seconds: float = 60.0
+    render_scale: float = 0.12
+    datasets: Sequence[str] = LABELLED_DATASETS
+
+    @classmethod
+    def quick(cls, datasets: Sequence[str] = ("jackson_square",)) -> "ExperimentConfig":
+        """A fast configuration used by unit/integration tests."""
+        return cls(duration_seconds=20.0, render_scale=0.08, datasets=datasets)
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentConfig":
+        """Build a config honouring the ``REPRO_EXPERIMENT_*`` env overrides.
+
+        ``REPRO_EXPERIMENT_DURATION`` (seconds) and ``REPRO_EXPERIMENT_SCALE``
+        (resolution factor) allow longer, higher-fidelity benchmark runs
+        without code changes.
+        """
+        duration = float(os.environ.get("REPRO_EXPERIMENT_DURATION", 60.0))
+        scale = float(os.environ.get("REPRO_EXPERIMENT_SCALE", 0.12))
+        return cls(duration_seconds=duration, render_scale=scale)
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset clip plus its (cached) codec analysis pass.
+
+    Attributes:
+        instance: The rendered clip and ground truth.
+        activities: Per-frame scene-cut analysis (parameter independent).
+    """
+
+    instance: DatasetInstance
+    activities: List[FrameActivity] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self.instance.name
+
+    @property
+    def video(self):
+        """The clip itself."""
+        return self.instance.video
+
+    @property
+    def timeline(self):
+        """Ground-truth timeline (``None`` for unlabelled datasets)."""
+        return self.instance.timeline
+
+
+def prepare_dataset(name: str, config: ExperimentConfig, split: str = "test",
+                    base_parameters: EncoderParameters = EncoderParameters()
+                    ) -> PreparedDataset:
+    """Render one dataset clip and run the codec analysis pass over it."""
+    instance = build_dataset(name, duration_seconds=config.duration_seconds,
+                             render_scale=config.render_scale, split=split)
+    activities = VideoEncoder(base_parameters).analyze(instance.video)
+    return PreparedDataset(instance=instance, activities=activities)
+
+
+def prepare_datasets(config: ExperimentConfig, split: str = "test"
+                     ) -> Dict[str, PreparedDataset]:
+    """Prepare every dataset named in ``config``."""
+    return {name: prepare_dataset(name, config, split) for name in config.datasets}
+
+
+def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render rows as a fixed-width text table (what the benchmarks print)."""
+    rows = list(rows)
+    header = " | ".join(f"{column:>18}" for column in columns)
+    separator = "-+-".join("-" * 18 for _ in columns)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append(separator)
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>18.4g}")
+            else:
+                cells.append(f"{str(value):>18}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Simulated network substrate: links, channels and the 3-tier topology."""
+
+from .channel import Channel, Message
+from .link import NetworkLink, TransferRecord
+from .topology import ThreeTierTopology
+
+__all__ = ["Channel", "Message", "NetworkLink", "TransferRecord", "ThreeTierTopology"]

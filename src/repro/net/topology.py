@@ -1,0 +1,74 @@
+"""The 3-tier network topology: cameras, edge servers, cloud.
+
+:class:`ThreeTierTopology` wires together the simulated links of Figure 1 of
+the paper: every camera talks to one edge server over a local link, and each
+edge server talks to the cloud over a bandwidth-constrained WAN link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from ..errors import NetworkError
+from .link import NetworkLink
+
+
+@dataclass
+class ThreeTierTopology:
+    """Link inventory of a camera/edge/cloud deployment.
+
+    Attributes:
+        config: System configuration providing bandwidths and latencies.
+        camera_links: Per-camera link to its edge server.
+        edge_cloud_link: The shared edge -> cloud WAN link.
+    """
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+    camera_links: Dict[str, NetworkLink] = field(default_factory=dict)
+    edge_cloud_link: Optional[NetworkLink] = None
+
+    def __post_init__(self) -> None:
+        if self.edge_cloud_link is None:
+            self.edge_cloud_link = NetworkLink(
+                name="edge-cloud",
+                bandwidth_mbps=self.config.edge_cloud_bandwidth_mbps,
+                latency_ms=self.config.edge_cloud_latency_ms)
+
+    def add_camera(self, camera_name: str) -> NetworkLink:
+        """Register a camera and create its camera -> edge link."""
+        if camera_name in self.camera_links:
+            raise NetworkError(f"camera {camera_name!r} already registered")
+        link = NetworkLink(
+            name=f"camera-edge:{camera_name}",
+            bandwidth_mbps=self.config.camera_edge_bandwidth_mbps,
+            latency_ms=self.config.camera_edge_latency_ms)
+        self.camera_links[camera_name] = link
+        return link
+
+    def camera_link(self, camera_name: str) -> NetworkLink:
+        """The camera -> edge link of a registered camera."""
+        try:
+            return self.camera_links[camera_name]
+        except KeyError as exc:
+            raise NetworkError(f"unknown camera {camera_name!r}") from exc
+
+    @property
+    def cameras(self) -> List[str]:
+        """Names of the registered cameras."""
+        return sorted(self.camera_links)
+
+    def total_camera_edge_bytes(self) -> int:
+        """Total bytes moved from all cameras to the edge tier."""
+        return sum(link.total_bytes for link in self.camera_links.values())
+
+    def total_edge_cloud_bytes(self) -> int:
+        """Total bytes moved from the edge tier to the cloud."""
+        return self.edge_cloud_link.total_bytes
+
+    def reset(self) -> None:
+        """Clear all transfer accounting."""
+        for link in self.camera_links.values():
+            link.reset()
+        self.edge_cloud_link.reset()

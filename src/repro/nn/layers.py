@@ -1,0 +1,275 @@
+"""Neural-network layers for the numpy inference engine.
+
+The paper treats the object-detection network (YOLOv3 in their prototype) as
+a per-frame black box that is expensive to evaluate and that can be split
+between edge and cloud by the "NN deployment service".  PyTorch is not
+available in this environment, so this module provides a small but real
+inference engine: convolution (via im2col), pooling, dense layers and the
+usual activations, each reporting its parameter count, FLOPs and output size
+— the quantities the deployment service's partitioning algorithm needs.
+
+Tensors follow the ``(channels, height, width)`` layout for feature maps and
+plain vectors for dense layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from ..rng import make_rng
+
+Shape = Tuple[int, ...]
+
+
+class Layer:
+    """Base class of all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`output_shape`, and report
+    :attr:`num_parameters` and :meth:`flops` so the profiler can build a cost
+    model without running the network.
+    """
+
+    #: Human-readable layer name, set by subclasses.
+    name: str = "layer"
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output for a single example."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Shape of the output given an input shape."""
+        raise NotImplementedError
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable parameters."""
+        return 0
+
+    def flops(self, input_shape: Shape) -> int:
+        """Approximate multiply-accumulate count for one forward pass."""
+        return 0
+
+    def output_size_bytes(self, input_shape: Shape, dtype_bytes: int = 4) -> int:
+        """Size of the layer's output activation in bytes."""
+        return int(np.prod(self.output_shape(input_shape))) * dtype_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid.
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _check_feature_map(inputs: np.ndarray, layer_name: str) -> None:
+    if inputs.ndim != 3:
+        raise ModelError(
+            f"{layer_name} expects a (channels, height, width) tensor, "
+            f"got shape {inputs.shape}")
+
+
+class Conv2D(Layer):
+    """2-D convolution with 'same' or 'valid' padding, implemented via im2col.
+
+    Args:
+        in_channels: Number of input channels.
+        out_channels: Number of filters.
+        kernel_size: Square kernel edge length.
+        stride: Spatial stride.
+        padding: ``"same"`` or ``"valid"``.
+        name: Layer name.
+        seed: Seed for the deterministic He-style weight initialisation.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: str = "same", name: str = "conv",
+                 seed: int = 0) -> None:
+        if in_channels < 1 or out_channels < 1 or kernel_size < 1 or stride < 1:
+            raise ModelError("Conv2D dimensions must be positive")
+        if padding not in ("same", "valid"):
+            raise ModelError(f"unknown padding {padding!r}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.name = name
+        rng = make_rng(seed, "conv", name)
+        scale = np.sqrt(2.0 / (in_channels * kernel_size * kernel_size))
+        self.weights = rng.normal(
+            0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size))
+        self.bias = np.zeros(out_channels)
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.weights.size + self.bias.size)
+
+    def _pad_amount(self) -> int:
+        return (self.kernel_size - 1) // 2 if self.padding == "same" else 0
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise ModelError(
+                f"{self.name}: expected {self.in_channels} input channels, got {channels}")
+        pad = self._pad_amount()
+        out_h = (height + 2 * pad - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * pad - self.kernel_size) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ModelError(f"{self.name}: input {input_shape} too small")
+        return (self.out_channels, out_h, out_w)
+
+    def flops(self, input_shape: Shape) -> int:
+        _, out_h, out_w = self.output_shape(input_shape)
+        per_output = self.in_channels * self.kernel_size * self.kernel_size
+        return int(self.out_channels * out_h * out_w * per_output)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        _check_feature_map(inputs, self.name)
+        channels, height, width = inputs.shape
+        out_channels, out_h, out_w = self.output_shape(inputs.shape)
+        pad = self._pad_amount()
+        if pad:
+            inputs = np.pad(inputs, ((0, 0), (pad, pad), (pad, pad)))
+        k = self.kernel_size
+        stride = self.stride
+        # im2col: gather every receptive field into a column.
+        columns = np.empty((channels * k * k, out_h * out_w))
+        column = 0
+        for row in range(out_h):
+            top = row * stride
+            patch_rows = inputs[:, top:top + k, :]
+            for col in range(out_w):
+                left = col * stride
+                columns[:, column] = patch_rows[:, :, left:left + k].ravel()
+                column += 1
+        kernel_matrix = self.weights.reshape(out_channels, -1)
+        output = kernel_matrix @ columns + self.bias[:, None]
+        return output.reshape(out_channels, out_h, out_w)
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self, name: str = "relu") -> None:
+        self.name = name
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return np.maximum(inputs, 0.0)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def flops(self, input_shape: Shape) -> int:
+        return int(np.prod(input_shape))
+
+
+class MaxPool2D(Layer):
+    """Max pooling with a square window and equal stride."""
+
+    def __init__(self, pool_size: int = 2, name: str = "maxpool") -> None:
+        if pool_size < 1:
+            raise ModelError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self.name = name
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        channels, height, width = input_shape
+        return (channels, height // self.pool_size, width // self.pool_size)
+
+    def flops(self, input_shape: Shape) -> int:
+        return int(np.prod(self.output_shape(input_shape))) * self.pool_size ** 2
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        _check_feature_map(inputs, self.name)
+        channels, height, width = inputs.shape
+        p = self.pool_size
+        out_h, out_w = height // p, width // p
+        if out_h == 0 or out_w == 0:
+            raise ModelError(f"{self.name}: input {inputs.shape} too small to pool")
+        trimmed = inputs[:, :out_h * p, :out_w * p]
+        return trimmed.reshape(channels, out_h, p, out_w, p).max(axis=(2, 4))
+
+
+class GlobalAveragePool(Layer):
+    """Average every channel's feature map down to one value."""
+
+    def __init__(self, name: str = "gap") -> None:
+        self.name = name
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (input_shape[0],)
+
+    def flops(self, input_shape: Shape) -> int:
+        return int(np.prod(input_shape))
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        _check_feature_map(inputs, self.name)
+        return inputs.mean(axis=(1, 2))
+
+
+class Flatten(Layer):
+    """Flatten a feature map into a vector."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        self.name = name
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return np.asarray(inputs).ravel()
+
+
+class Dense(Layer):
+    """Fully connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, name: str = "dense",
+                 seed: int = 0) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ModelError("Dense dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+        rng = make_rng(seed, "dense", name)
+        scale = np.sqrt(2.0 / in_features)
+        self.weights = rng.normal(0.0, scale, size=(out_features, in_features))
+        self.bias = np.zeros(out_features)
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.weights.size + self.bias.size)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if int(np.prod(input_shape)) != self.in_features:
+            raise ModelError(
+                f"{self.name}: expected {self.in_features} inputs, got {input_shape}")
+        return (self.out_features,)
+
+    def flops(self, input_shape: Shape) -> int:
+        return self.in_features * self.out_features
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        vector = np.asarray(inputs).ravel()
+        if vector.size != self.in_features:
+            raise ModelError(
+                f"{self.name}: expected {self.in_features} inputs, got {vector.size}")
+        return self.weights @ vector + self.bias
+
+
+class Softmax(Layer):
+    """Numerically stable softmax over a vector."""
+
+    def __init__(self, name: str = "softmax") -> None:
+        self.name = name
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def flops(self, input_shape: Shape) -> int:
+        return 3 * int(np.prod(input_shape))
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        vector = np.asarray(inputs, dtype=np.float64).ravel()
+        shifted = vector - vector.max()
+        exponentials = np.exp(shifted)
+        return exponentials / exponentials.sum()

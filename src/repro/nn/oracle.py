@@ -1,0 +1,91 @@
+"""Annotation-oracle object detector.
+
+The paper's evaluation treats the reference NN as a black box that returns
+the correct object labels for every frame it is given; accuracy losses come
+exclusively from frames that were *not* given to the NN and inherited stale
+labels.  The oracle detector reproduces that role by reading the synthetic
+scene's ground-truth timeline, with an optional per-frame error rate for
+sensitivity studies (ablations on imperfect detectors).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..rng import make_rng
+from ..video.events import EventTimeline, LabelSet, NO_LABEL
+
+
+class ObjectDetector:
+    """Interface of per-frame object detectors used by the pipeline."""
+
+    #: Human-readable detector name.
+    name: str = "detector"
+
+    def detect(self, frame_index: int, frame_data=None) -> LabelSet:
+        """Return the set of object labels present in the frame."""
+        raise NotImplementedError
+
+
+class OracleDetector(ObjectDetector):
+    """Detector that reads labels from the ground-truth timeline.
+
+    Args:
+        timeline: Ground-truth event timeline of the video being analysed.
+        error_rate: Probability that the detector mislabels a frame (drops or
+            hallucinates one object class).  ``0`` reproduces the paper's
+            assumption of a perfect reference NN.
+        label_pool: Classes the detector may hallucinate when it errs;
+            defaults to the labels present in the timeline.
+        seed: Seed of the error process.
+    """
+
+    name = "oracle"
+
+    def __init__(self, timeline: EventTimeline, error_rate: float = 0.0,
+                 label_pool: Optional[Iterable[str]] = None,
+                 seed: int = 0) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ModelError(f"error_rate must be in [0, 1], got {error_rate}")
+        self.timeline = timeline
+        self.error_rate = float(error_rate)
+        pool = set(label_pool) if label_pool is not None else set(timeline.object_labels)
+        self._label_pool = sorted(pool) if pool else ["object"]
+        self._rng = make_rng(seed, "oracle-detector")
+
+    def detect(self, frame_index: int, frame_data=None) -> LabelSet:
+        """Labels of ``frame_index`` (possibly perturbed by the error model)."""
+        truth = self.timeline.labels_at(frame_index)
+        if self.error_rate <= 0.0 or self._rng.random() >= self.error_rate:
+            return truth
+        # Error: either drop one present label or hallucinate an absent one.
+        present = sorted(truth)
+        if present and self._rng.random() < 0.5:
+            dropped = present[int(self._rng.integers(len(present)))]
+            return frozenset(label for label in present if label != dropped)
+        absent = [label for label in self._label_pool if label not in truth]
+        if not absent:
+            return truth
+        added = absent[int(self._rng.integers(len(absent)))]
+        return frozenset(list(truth) + [added])
+
+
+class ConstantDetector(ObjectDetector):
+    """Detector that always returns the same label set (tests and ablations)."""
+
+    name = "constant"
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._labels: LabelSet = frozenset(labels)
+
+    def detect(self, frame_index: int, frame_data=None) -> LabelSet:
+        return self._labels
+
+
+def detect_many(detector: ObjectDetector,
+                frame_indices: Sequence[int]) -> dict:
+    """Run a detector over many frame indices, returning ``{index: labels}``."""
+    return {int(index): detector.detect(int(index)) for index in frame_indices}

@@ -1,0 +1,158 @@
+"""Neurosurgeon-style NN partitioning between edge and cloud.
+
+The paper's NN deployment service can "deploy a subset of the layers in the
+edge engine and the rest in the cloud engine", citing Neurosurgeon (Kang et
+al., 2017).  This module implements that algorithm: enumerate every layer
+boundary as a candidate split point, estimate end-to-end latency as
+
+    edge compute (layers < split)
+    + transfer of the split activation over the edge->cloud link
+    + cloud compute (layers >= split)
+
+and pick the split with the lowest latency.  Split 0 means "everything in
+the cloud" (the raw input is shipped), split ``num_layers`` means
+"everything on the edge" (only the final labels are shipped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ModelError
+from .model import SequentialModel
+from .profiler import CLOUD_DEVICE, EDGE_DEVICE, DeviceSpec, ModelProfiler
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """Latency breakdown of one candidate split point.
+
+    Attributes:
+        split_index: Number of layers executed on the edge.
+        edge_ms: Edge compute time.
+        transfer_ms: Time to ship the boundary activation to the cloud.
+        cloud_ms: Cloud compute time.
+        transfer_bytes: Size of the shipped activation.
+    """
+
+    split_index: int
+    edge_ms: float
+    transfer_ms: float
+    cloud_ms: float
+    transfer_bytes: int
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency of this split."""
+        return self.edge_ms + self.transfer_ms + self.cloud_ms
+
+
+@dataclass(frozen=True)
+class PartitionDecision:
+    """Result of the partitioning search.
+
+    Attributes:
+        best: The lowest-latency split.
+        candidates: Every evaluated split, in split-index order.
+        edge_only_ms: Latency of running everything on the edge.
+        cloud_only_ms: Latency of running everything in the cloud.
+    """
+
+    best: SplitCandidate
+    candidates: List[SplitCandidate]
+    edge_only_ms: float
+    cloud_only_ms: float
+
+    @property
+    def speedup_over_edge(self) -> float:
+        """Latency improvement of the best split over edge-only execution."""
+        if self.best.total_ms <= 0:
+            return float("inf")
+        return self.edge_only_ms / self.best.total_ms
+
+    @property
+    def speedup_over_cloud(self) -> float:
+        """Latency improvement of the best split over cloud-only execution."""
+        if self.best.total_ms <= 0:
+            return float("inf")
+        return self.cloud_only_ms / self.best.total_ms
+
+
+class NeurosurgeonPartitioner:
+    """Latency-optimal layer partitioning between an edge and a cloud device.
+
+    Args:
+        model: The reference network.
+        edge_device: Edge compute capability.
+        cloud_device: Cloud compute capability.
+        input_bytes: Size of the raw model input as shipped to the cloud when
+            the split is 0; defaults to the float32 input tensor size.
+    """
+
+    def __init__(self, model: SequentialModel,
+                 edge_device: DeviceSpec = EDGE_DEVICE,
+                 cloud_device: DeviceSpec = CLOUD_DEVICE,
+                 input_bytes: Optional[int] = None) -> None:
+        self.model = model
+        self.edge_device = edge_device
+        self.cloud_device = cloud_device
+        profiler = ModelProfiler(model)
+        self._edge_profile = profiler.analytical_profile(edge_device)
+        self._cloud_profile = profiler.analytical_profile(cloud_device)
+        if input_bytes is None:
+            size = 1
+            for dim in model.input_shape:
+                size *= dim
+            input_bytes = size * 4
+        if input_bytes <= 0:
+            raise ModelError("input_bytes must be positive")
+        self.input_bytes = int(input_bytes)
+
+    def _boundary_bytes(self, split_index: int) -> int:
+        """Bytes crossing the network when splitting before ``split_index``."""
+        if split_index == 0:
+            return self.input_bytes
+        return self._edge_profile[split_index - 1].output_bytes
+
+    def evaluate_split(self, split_index: int, bandwidth_mbps: float,
+                       latency_ms: float = 0.0) -> SplitCandidate:
+        """Latency breakdown of executing ``split_index`` layers on the edge."""
+        if not 0 <= split_index <= self.model.num_layers:
+            raise ModelError(
+                f"split index {split_index} out of range [0, {self.model.num_layers}]")
+        if bandwidth_mbps <= 0:
+            raise ModelError("bandwidth_mbps must be positive")
+        edge_ms = sum(profile.compute_ms
+                      for profile in self._edge_profile[:split_index])
+        cloud_ms = sum(profile.compute_ms
+                       for profile in self._cloud_profile[split_index:])
+        if split_index < self.model.num_layers:
+            transfer_bytes = self._boundary_bytes(split_index)
+        else:
+            # Edge-only execution still ships the final result to the cloud.
+            transfer_bytes = self._edge_profile[-1].output_bytes
+        transfer_ms = (transfer_bytes * 8) / (bandwidth_mbps * 1e6) * 1e3 + latency_ms
+        return SplitCandidate(split_index=split_index, edge_ms=edge_ms,
+                              transfer_ms=transfer_ms, cloud_ms=cloud_ms,
+                              transfer_bytes=transfer_bytes)
+
+    def decide(self, bandwidth_mbps: float, latency_ms: float = 0.0) -> PartitionDecision:
+        """Evaluate every split point and return the best one.
+
+        Args:
+            bandwidth_mbps: Edge -> cloud bandwidth.
+            latency_ms: One-way network latency added to every transfer.
+
+        Returns:
+            The :class:`PartitionDecision` with all candidates.
+        """
+        candidates = [self.evaluate_split(split, bandwidth_mbps, latency_ms)
+                      for split in range(self.model.num_layers + 1)]
+        best = min(candidates, key=lambda candidate: candidate.total_ms)
+        return PartitionDecision(
+            best=best,
+            candidates=candidates,
+            edge_only_ms=candidates[-1].total_ms,
+            cloud_only_ms=candidates[0].total_ms,
+        )

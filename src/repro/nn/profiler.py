@@ -1,0 +1,143 @@
+"""Per-layer profiling of the reference network.
+
+The NN deployment service (Section III) decides whether to run the whole
+network on the edge, the whole network in the cloud, or to split it at a
+layer boundary (the Neurosurgeon approach the paper cites).  Those decisions
+need, for every layer: its compute cost on each device and the size of its
+output activation.  :class:`ModelProfiler` produces exactly that, either
+analytically (FLOPs divided by a device's effective FLOP/s rate — fast, used
+by the simulated cluster) or empirically (wall-clock measurement of the
+numpy engine — used by the micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ModelError
+from ..rng import make_rng
+from .model import SequentialModel
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Compute capability of a device for NN inference.
+
+    Attributes:
+        name: Device name (``"edge"``, ``"cloud"``).
+        effective_gflops: Sustained throughput of the device on convolutional
+            workloads, in billions of multiply-accumulates per second.
+        per_layer_overhead_ms: Fixed scheduling/dispatch overhead per layer.
+    """
+
+    name: str
+    effective_gflops: float
+    per_layer_overhead_ms: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.effective_gflops <= 0:
+            raise ModelError("effective_gflops must be positive")
+        if self.per_layer_overhead_ms < 0:
+            raise ModelError("per_layer_overhead_ms must be >= 0")
+
+
+#: Calibration mirroring the paper's testbed: an Intel i7 edge desktop and a
+#: Xeon cloud server (the cloud node serves the NN faster in the end-to-end
+#: evaluation).
+EDGE_DEVICE = DeviceSpec(name="edge", effective_gflops=6.0)
+CLOUD_DEVICE = DeviceSpec(name="cloud", effective_gflops=45.0)
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Cost profile of one layer on one device.
+
+    Attributes:
+        index: Layer index.
+        name: Layer name.
+        compute_ms: Estimated (or measured) execution time in milliseconds.
+        output_bytes: Size of the layer's output activation.
+        flops: Multiply-accumulate estimate.
+    """
+
+    index: int
+    name: str
+    compute_ms: float
+    output_bytes: int
+    flops: int
+
+
+class ModelProfiler:
+    """Builds per-layer cost profiles of a :class:`SequentialModel`."""
+
+    def __init__(self, model: SequentialModel) -> None:
+        self.model = model
+
+    def analytical_profile(self, device: DeviceSpec) -> List[LayerProfile]:
+        """Analytical per-layer profile: FLOPs / device rate + fixed overhead."""
+        profiles = []
+        for entry in self.model.summary():
+            compute_ms = (entry.flops / (device.effective_gflops * 1e9)) * 1e3
+            compute_ms += device.per_layer_overhead_ms
+            profiles.append(LayerProfile(
+                index=entry.index, name=entry.name, compute_ms=compute_ms,
+                output_bytes=entry.output_bytes, flops=entry.flops))
+        return profiles
+
+    def measured_profile(self, repetitions: int = 3,
+                         seed: int = 11) -> List[LayerProfile]:
+        """Wall-clock per-layer profile of the numpy engine on this machine.
+
+        Args:
+            repetitions: Number of timed forward passes per layer (the
+                minimum is reported, the conventional micro-benchmark choice).
+            seed: Seed of the random probe input.
+
+        Returns:
+            One :class:`LayerProfile` per layer.
+        """
+        if repetitions < 1:
+            raise ModelError("repetitions must be >= 1")
+        rng = make_rng(seed, "profiler")
+        activation = rng.normal(size=self.model.input_shape)
+        profiles = []
+        for entry, layer in zip(self.model.summary(), self.model.layers):
+            timings = []
+            output = None
+            for _ in range(repetitions):
+                start = time.perf_counter()
+                output = layer.forward(activation)
+                timings.append((time.perf_counter() - start) * 1e3)
+            profiles.append(LayerProfile(
+                index=entry.index, name=entry.name, compute_ms=float(min(timings)),
+                output_bytes=entry.output_bytes, flops=entry.flops))
+            activation = output
+        return profiles
+
+    def total_compute_ms(self, device: DeviceSpec) -> float:
+        """Total analytical inference latency on ``device``."""
+        return sum(profile.compute_ms for profile in self.analytical_profile(device))
+
+    def profile_table(self, devices: Optional[List[DeviceSpec]] = None
+                      ) -> List[Dict[str, object]]:
+        """Tabular profile across devices (used by the examples and docs)."""
+        devices = devices or [EDGE_DEVICE, CLOUD_DEVICE]
+        per_device = {device.name: self.analytical_profile(device)
+                      for device in devices}
+        rows: List[Dict[str, object]] = []
+        for entry in self.model.summary():
+            row: Dict[str, object] = {
+                "layer": entry.name,
+                "kind": entry.kind,
+                "output_shape": entry.output_shape,
+                "output_kb": entry.output_bytes / 1024.0,
+                "flops": entry.flops,
+            }
+            for device in devices:
+                row[f"{device.name}_ms"] = per_device[device.name][entry.index].compute_ms
+            rows.append(row)
+        return rows

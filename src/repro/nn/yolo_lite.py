@@ -1,0 +1,125 @@
+"""YoloLite: the reference object-detection network of the reproduction.
+
+The paper uses YOLOv3 as the downstream NN.  Running (or training) a real
+YOLOv3 is out of scope for an offline, CPU-only reproduction, so this module
+provides **YoloLite**: a deterministic convolutional classifier with the same
+*structural* role — an expensive per-frame network whose layers can be
+profiled, partitioned between edge and cloud, and executed by the numpy
+inference engine.  Frame labels used in the evaluation come from the
+annotation oracle (:mod:`repro.nn.oracle`), matching the paper's assumption
+that the reference NN produces ground-truth labels for the frames it sees;
+YoloLite supplies the compute/activation-size profile that the deployment
+and partitioning experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from ..vision.imageops import normalize_plane, resize, to_grayscale
+from .layers import (Conv2D, Dense, Flatten, GlobalAveragePool, MaxPool2D, ReLU,
+                     Softmax)
+from .model import SequentialModel
+
+#: Object classes recognised by the reference network: the classes named in
+#: Table I of the paper plus an explicit background class.
+DEFAULT_CLASSES: Tuple[str, ...] = (
+    "background", "car", "bus", "truck", "person", "boat")
+
+#: Input resolution the paper resizes frames to before YOLO inference.
+DEFAULT_INPUT_SIZE = (64, 64)
+
+
+def build_yolo_lite(input_size: Tuple[int, int] = DEFAULT_INPUT_SIZE,
+                    classes: Sequence[str] = DEFAULT_CLASSES,
+                    width_multiplier: float = 1.0,
+                    seed: int = 7) -> SequentialModel:
+    """Build the YoloLite classifier.
+
+    The architecture is a conventional five-stage CNN (conv/relu/pool
+    pyramid, global average pooling, two dense layers).  ``width_multiplier``
+    scales the channel counts, which is how the tests build throwaway tiny
+    models and how ablations explore cheaper reference networks.
+
+    Args:
+        input_size: ``(height, width)`` of the grayscale input.
+        classes: Output class names.
+        width_multiplier: Channel-count scale factor.
+        seed: Seed of the deterministic weight initialisation.
+
+    Returns:
+        The :class:`SequentialModel`.
+    """
+    if len(classes) < 2:
+        raise ModelError("YoloLite needs at least two classes")
+    if width_multiplier <= 0:
+        raise ModelError("width_multiplier must be positive")
+    height, width = input_size
+    if height < 16 or width < 16:
+        raise ModelError("input_size must be at least 16x16")
+
+    def channels(base: int) -> int:
+        return max(int(round(base * width_multiplier)), 1)
+
+    layers = [
+        Conv2D(1, channels(16), kernel_size=3, name="conv1", seed=seed),
+        ReLU("relu1"),
+        MaxPool2D(2, "pool1"),
+        Conv2D(channels(16), channels(32), kernel_size=3, name="conv2", seed=seed),
+        ReLU("relu2"),
+        MaxPool2D(2, "pool2"),
+        Conv2D(channels(32), channels(64), kernel_size=3, name="conv3", seed=seed),
+        ReLU("relu3"),
+        MaxPool2D(2, "pool3"),
+        Conv2D(channels(64), channels(64), kernel_size=3, name="conv4", seed=seed),
+        ReLU("relu4"),
+        GlobalAveragePool("gap"),
+        Dense(channels(64), channels(64), name="fc1", seed=seed),
+        ReLU("relu5"),
+        Dense(channels(64), len(classes), name="fc2", seed=seed),
+        Softmax("softmax"),
+    ]
+    model = SequentialModel(layers, input_shape=(1, height, width), name="yolo_lite")
+    # Attach the class list so downstream components can map argmax -> label.
+    model.classes = tuple(classes)  # type: ignore[attr-defined]
+    return model
+
+
+def preprocess_frame(frame_data: np.ndarray,
+                     input_size: Tuple[int, int] = DEFAULT_INPUT_SIZE) -> np.ndarray:
+    """Convert a raw frame into the model's input tensor.
+
+    The frame is converted to luma, resized to the network input size and
+    normalised to zero mean / unit variance, then given a leading channel
+    axis.
+
+    Args:
+        frame_data: ``(H, W)`` or ``(H, W, 3)`` pixel array.
+        input_size: ``(height, width)`` expected by the model.
+
+    Returns:
+        Tensor of shape ``(1, height, width)``.
+    """
+    height, width = input_size
+    luma = to_grayscale(frame_data)
+    resized = resize(luma, (width, height))
+    return normalize_plane(resized)[None, :, :]
+
+
+def classify_frame(model: SequentialModel, frame_data: np.ndarray) -> Tuple[str, np.ndarray]:
+    """Run a frame through the model and return ``(label, probabilities)``."""
+    classes = getattr(model, "classes", None)
+    if classes is None:
+        raise ModelError("model has no attached class list")
+    input_height, input_width = model.input_shape[1], model.input_shape[2]
+    tensor = preprocess_frame(frame_data, (input_height, input_width))
+    index, probabilities = model.predict_class(tensor)
+    return classes[index], probabilities
+
+
+def model_size_bytes(model: SequentialModel, dtype_bytes: int = 4) -> int:
+    """Size of the model weights in bytes (used by deployment planning)."""
+    return model.num_parameters * dtype_bytes

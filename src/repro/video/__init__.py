@@ -1,0 +1,23 @@
+"""Video primitives: frames, event timelines, containers and synthetic scenes."""
+
+from .events import Event, EventTimeline, LabelSet, NO_LABEL, as_label_set
+from .frame import (Frame, FrameType, Resolution, RESOLUTION_1080P,
+                    RESOLUTION_400P, RESOLUTION_720P)
+from .raw_video import GeneratedVideo, RawVideo, VideoMetadata, VideoSource
+from .scenarios import (LABELLED_SCENARIOS, SCENARIOS, UNLABELLED_SCENARIOS,
+                        all_scenarios, amsterdam, coral_reef, jackson_square,
+                        make_scenario, taipei, venice)
+from .synthetic import (ObjectClassSpec, ObjectTrack, SceneProfile, SceneScript,
+                        SyntheticScene, generate_scene_video, generate_script)
+
+__all__ = [
+    "Event", "EventTimeline", "LabelSet", "NO_LABEL", "as_label_set",
+    "Frame", "FrameType", "Resolution",
+    "RESOLUTION_400P", "RESOLUTION_720P", "RESOLUTION_1080P",
+    "GeneratedVideo", "RawVideo", "VideoMetadata", "VideoSource",
+    "ObjectClassSpec", "ObjectTrack", "SceneProfile", "SceneScript",
+    "SyntheticScene", "generate_scene_video", "generate_script",
+    "SCENARIOS", "LABELLED_SCENARIOS", "UNLABELLED_SCENARIOS",
+    "all_scenarios", "make_scenario",
+    "jackson_square", "coral_reef", "venice", "taipei", "amsterdam",
+]

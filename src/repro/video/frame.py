@@ -1,0 +1,162 @@
+"""Frame and resolution primitives shared by the whole library.
+
+A :class:`Frame` is a single uncompressed video picture: a ``uint8`` numpy
+array of shape ``(height, width)`` (grayscale) or ``(height, width, 3)``
+(RGB), tagged with its index in the source video and its presentation
+timestamp.  Encoded pictures live in :mod:`repro.codec.bitstream` instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class FrameType(enum.Enum):
+    """Picture type of an encoded frame.
+
+    ``I`` frames are independently decodable key frames; ``P`` frames are
+    predicted from the previous frame via motion compensation.  The paper's
+    I-frame seeker keeps only ``I`` frames.  ``B`` frames are included for
+    completeness of the GOP model but the encoder in this reproduction does
+    not emit them (the paper's semantic encoder relies on I/P structure).
+    """
+
+    I = "I"  # noqa: E741 - the codec-standard name is a single letter.
+    P = "P"
+    B = "B"
+
+    @property
+    def is_key(self) -> bool:
+        """Whether the frame type is an independently decodable key frame."""
+        return self is FrameType.I
+
+
+@dataclass(frozen=True, order=True)
+class Resolution:
+    """A frame resolution in pixels.
+
+    Attributes:
+        width: Horizontal size in pixels.
+        height: Vertical size in pixels.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(
+                f"Resolution must be positive, got {self.width}x{self.height}")
+
+    @property
+    def pixels(self) -> int:
+        """Total number of pixels per frame."""
+        return self.width * self.height
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Numpy-style ``(height, width)`` shape."""
+        return (self.height, self.width)
+
+    @property
+    def label(self) -> str:
+        """Conventional vertical-line label such as ``'1080p'``."""
+        return f"{self.height}p"
+
+    def scaled(self, factor: float) -> "Resolution":
+        """Return this resolution scaled by ``factor`` (minimum 16x16)."""
+        return Resolution(max(int(round(self.width * factor)), 16),
+                          max(int(round(self.height * factor)), 16))
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height}"
+
+
+#: Resolutions named in Table I of the paper.
+RESOLUTION_400P = Resolution(600, 400)
+RESOLUTION_720P = Resolution(1280, 720)
+RESOLUTION_1080P = Resolution(1920, 1080)
+
+
+@dataclass
+class Frame:
+    """A single uncompressed video frame.
+
+    Attributes:
+        index: Zero-based frame index in the source video.
+        data: ``uint8`` array of shape ``(H, W)`` or ``(H, W, 3)``.
+        timestamp: Presentation time in seconds.
+        frame_type: Optional picture type assigned by an encoder or seeker.
+    """
+
+    index: int
+    data: np.ndarray
+    timestamp: float = 0.0
+    frame_type: Optional[FrameType] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim not in (2, 3):
+            raise ConfigurationError(
+                f"Frame data must be 2-D or 3-D, got shape {self.data.shape}")
+        if self.data.ndim == 3 and self.data.shape[2] != 3:
+            raise ConfigurationError(
+                f"Color frames must have 3 channels, got {self.data.shape[2]}")
+        if self.data.dtype != np.uint8:
+            self.data = np.clip(self.data, 0, 255).astype(np.uint8)
+        if self.index < 0:
+            raise ConfigurationError(f"Frame index must be >= 0, got {self.index}")
+
+    @property
+    def resolution(self) -> Resolution:
+        """Resolution of the frame."""
+        return Resolution(self.data.shape[1], self.data.shape[0])
+
+    @property
+    def is_color(self) -> bool:
+        """Whether the frame carries three color channels."""
+        return self.data.ndim == 3
+
+    @property
+    def num_pixels(self) -> int:
+        """Number of pixels (independent of channel count)."""
+        return self.data.shape[0] * self.data.shape[1]
+
+    @property
+    def raw_size_bytes(self) -> int:
+        """Uncompressed size of the pixel payload in bytes."""
+        return int(self.data.size)
+
+    def to_grayscale(self) -> np.ndarray:
+        """Return a ``float64`` grayscale (luma) plane in ``[0, 255]``.
+
+        Uses the ITU-R BT.601 luma weights, which is what consumer codecs and
+        OpenCV's default RGB-to-gray conversion use.
+        """
+        if self.data.ndim == 2:
+            return self.data.astype(np.float64)
+        weights = np.array([0.299, 0.587, 0.114])
+        return self.data.astype(np.float64) @ weights
+
+    def with_type(self, frame_type: FrameType) -> "Frame":
+        """Return a shallow copy tagged with ``frame_type``."""
+        return Frame(index=self.index, data=self.data, timestamp=self.timestamp,
+                     frame_type=frame_type, metadata=dict(self.metadata))
+
+    def copy(self) -> "Frame":
+        """Return a deep copy (pixel data included)."""
+        return Frame(index=self.index, data=self.data.copy(),
+                     timestamp=self.timestamp, frame_type=self.frame_type,
+                     metadata=dict(self.metadata))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid only.
+        kind = self.frame_type.value if self.frame_type else "?"
+        return (f"Frame(index={self.index}, {self.resolution}, type={kind}, "
+                f"t={self.timestamp:.3f}s)")

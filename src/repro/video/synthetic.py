@@ -1,0 +1,448 @@
+"""Procedural surveillance-scene generator.
+
+The paper evaluates SiEVE on real surveillance feeds (Table I).  Those videos
+are not redistributable and cannot be downloaded in this offline environment,
+so this module generates *synthetic surveillance scenes* that preserve the
+properties the evaluation actually depends on:
+
+* a static background viewed by a fixed camera,
+* objects of a given class entering the scene, dwelling while moving across
+  it, and leaving — producing the paper's notion of *events* (maximal runs of
+  frames with the same label set),
+* object apparent size controlled per scenario (close-up cars vs. distant
+  boats), which determines how much motion an entering object causes and
+  therefore which scenecut threshold detects it,
+* sensor noise and slow illumination drift, which is what limits naive
+  pixel-difference baselines such as MSE.
+
+Every frame is a deterministic function of ``(profile, frame_index)`` so
+videos can be streamed lazily without keeping all frames in memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import make_rng
+from .events import EventTimeline
+from .frame import Resolution
+from .raw_video import GeneratedVideo, VideoMetadata
+
+
+@dataclass(frozen=True)
+class ObjectClassSpec:
+    """Appearance and motion model of one object class in a scene.
+
+    Attributes:
+        label: Object label reported by the ground truth (e.g. ``"car"``).
+        relative_height: Object bounding-box height as a fraction of frame
+            height.  Close-up objects (Jackson square cars) are large
+            (~0.25+); distant objects (Venice boats) are small (~0.05).
+        aspect_ratio: Bounding-box width divided by height.
+        speed_fraction: Fraction of the frame width the object traverses per
+            second of video.
+        brightness_delta: Luma offset of the object relative to the
+            background (positive = brighter).  Larger objects with larger
+            deltas create more inter-frame motion cost.
+        shape: ``"rectangle"`` or ``"ellipse"``.
+    """
+
+    label: str
+    relative_height: float
+    aspect_ratio: float = 2.0
+    speed_fraction: float = 0.25
+    brightness_delta: float = 70.0
+    shape: str = "rectangle"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.relative_height <= 1.0:
+            raise ConfigurationError(
+                f"relative_height must be in (0, 1], got {self.relative_height}")
+        if self.aspect_ratio <= 0:
+            raise ConfigurationError("aspect_ratio must be positive")
+        if self.speed_fraction <= 0:
+            raise ConfigurationError("speed_fraction must be positive")
+        if self.shape not in ("rectangle", "ellipse"):
+            raise ConfigurationError(f"unknown shape {self.shape!r}")
+
+
+@dataclass(frozen=True)
+class SceneProfile:
+    """Full description of a synthetic surveillance scene.
+
+    Attributes:
+        name: Scene / camera name.
+        resolution: Rendered frame resolution.
+        fps: Frame rate.
+        duration_seconds: Length of the generated video.
+        object_classes: Object classes that may appear, with sampling weights.
+        mean_gap_seconds: Mean idle time between the end of one object's
+            visit and the start of the next.
+        mean_dwell_seconds: Mean time an object stays in the scene.
+        noise_std: Standard deviation of per-frame sensor noise (luma units).
+        background_detail: Amplitude of the smooth (low-frequency) background
+            structure: road markings, water gradients, large shadows.
+        texture_detail: Amplitude of the static high-frequency background
+            texture (asphalt grain, ripples, foliage).  This texture is what
+            makes occlusion/disocclusion at object boundaries unpredictable
+            for a motion-compensating encoder — the physical effect real
+            scene-cut detection keys on — so it must be comfortably larger
+            than the sensor noise.
+        illumination_drift: Peak-to-peak amplitude of a slow global
+            brightness oscillation (simulates clouds / daylight changes).
+        max_concurrent_objects: Upper bound on simultaneously visible objects.
+        seed: Root seed for the event schedule and appearance sampling.
+    """
+
+    name: str
+    resolution: Resolution
+    fps: float
+    duration_seconds: float
+    object_classes: Tuple[Tuple[ObjectClassSpec, float], ...]
+    mean_gap_seconds: float = 8.0
+    mean_dwell_seconds: float = 6.0
+    noise_std: float = 2.0
+    background_detail: float = 25.0
+    texture_detail: float = 28.0
+    illumination_drift: float = 3.0
+    max_concurrent_objects: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0 or self.duration_seconds <= 0:
+            raise ConfigurationError("fps and duration_seconds must be positive")
+        if not self.object_classes:
+            raise ConfigurationError("object_classes must not be empty")
+        if self.mean_gap_seconds <= 0 or self.mean_dwell_seconds <= 0:
+            raise ConfigurationError("mean gap/dwell must be positive")
+        if self.max_concurrent_objects < 1:
+            raise ConfigurationError("max_concurrent_objects must be >= 1")
+        total_weight = sum(weight for _, weight in self.object_classes)
+        if total_weight <= 0:
+            raise ConfigurationError("object class weights must sum to a positive value")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the generated video."""
+        return max(int(round(self.duration_seconds * self.fps)), 1)
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "SceneProfile":
+        """Return a copy rendered at ``factor`` times the resolution.
+
+        Used to run experiment-scale videos at a reduced pixel count while
+        keeping the event structure identical (object sizes are relative).
+        """
+        return replace(self, name=name or self.name,
+                       resolution=self.resolution.scaled(factor))
+
+    def with_duration(self, duration_seconds: float) -> "SceneProfile":
+        """Return a copy with a different duration."""
+        return replace(self, duration_seconds=duration_seconds)
+
+    def with_seed(self, seed: int) -> "SceneProfile":
+        """Return a copy with a different schedule seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class ObjectTrack:
+    """A single object's visit to the scene.
+
+    Attributes:
+        label: Object label.
+        spec: Appearance spec of the object's class.
+        enter_frame: First frame in which the object is visible.
+        exit_frame: One past the last visible frame.
+        lane_fraction: Vertical position of the object's centre, as a
+            fraction of frame height.
+        direction: ``+1`` for left-to-right motion, ``-1`` for right-to-left.
+        brightness: Actual luma delta of this instance.
+        size_jitter: Multiplicative jitter applied to the class height.
+    """
+
+    label: str
+    spec: ObjectClassSpec
+    enter_frame: int
+    exit_frame: int
+    lane_fraction: float
+    direction: int
+    brightness: float
+    size_jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.exit_frame <= self.enter_frame:
+            raise ConfigurationError("exit_frame must be > enter_frame")
+        if self.direction not in (-1, 1):
+            raise ConfigurationError("direction must be +1 or -1")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames the object is visible."""
+        return self.exit_frame - self.enter_frame
+
+    def is_visible(self, frame_index: int) -> bool:
+        """Whether the object is in the scene at ``frame_index``."""
+        return self.enter_frame <= frame_index < self.exit_frame
+
+    def bounding_box(self, frame_index: int,
+                     resolution: Resolution) -> Optional[Tuple[int, int, int, int]]:
+        """Bounding box ``(x0, y0, x1, y1)`` at ``frame_index`` or ``None``.
+
+        The object enters from one side, traverses the frame linearly over
+        its dwell time, and exits on the other side; the box is clipped to
+        the frame.
+        """
+        if not self.is_visible(frame_index):
+            return None
+        height = max(int(round(self.spec.relative_height * self.size_jitter
+                               * resolution.height)), 2)
+        width = max(int(round(height * self.spec.aspect_ratio)), 2)
+        progress = (frame_index - self.enter_frame) / max(self.num_frames - 1, 1)
+        span = resolution.width + width
+        if self.direction > 0:
+            center_x = -width / 2 + progress * span
+        else:
+            center_x = resolution.width + width / 2 - progress * span
+        center_y = self.lane_fraction * resolution.height
+        x0 = int(round(center_x - width / 2))
+        x1 = int(round(center_x + width / 2))
+        y0 = int(round(center_y - height / 2))
+        y1 = int(round(center_y + height / 2))
+        x0, x1 = max(x0, 0), min(x1, resolution.width)
+        y0, y1 = max(y0, 0), min(y1, resolution.height)
+        if x0 >= x1 or y0 >= y1:
+            return None
+        return (x0, y0, x1, y1)
+
+
+class SceneScript:
+    """The event schedule of a synthetic scene: which objects appear when."""
+
+    def __init__(self, tracks: Sequence[ObjectTrack], num_frames: int) -> None:
+        if num_frames <= 0:
+            raise ConfigurationError("num_frames must be positive")
+        self.tracks: Tuple[ObjectTrack, ...] = tuple(
+            sorted(tracks, key=lambda track: track.enter_frame))
+        self.num_frames = num_frames
+        for track in self.tracks:
+            if track.exit_frame > num_frames:
+                raise ConfigurationError(
+                    f"track {track.label} extends past the end of the video")
+
+    def labels_at(self, frame_index: int) -> frozenset:
+        """Ground-truth label set at ``frame_index``."""
+        return frozenset(track.label for track in self.tracks
+                         if track.is_visible(frame_index))
+
+    def visible_tracks(self, frame_index: int) -> List[ObjectTrack]:
+        """Tracks visible at ``frame_index``."""
+        return [track for track in self.tracks if track.is_visible(frame_index)]
+
+    def frame_labels(self) -> List[frozenset]:
+        """Per-frame ground-truth label sets."""
+        boundaries = np.zeros(self.num_frames + 1, dtype=bool)
+        for track in self.tracks:
+            boundaries[track.enter_frame] = True
+            boundaries[track.exit_frame] = True
+        labels: List[frozenset] = []
+        current = self.labels_at(0)
+        for index in range(self.num_frames):
+            if index > 0 and boundaries[index]:
+                current = self.labels_at(index)
+            labels.append(current)
+        return labels
+
+    def timeline(self) -> EventTimeline:
+        """Compress the per-frame labels into an :class:`EventTimeline`."""
+        return EventTimeline.from_frame_labels(self.frame_labels())
+
+
+def generate_script(profile: SceneProfile) -> SceneScript:
+    """Sample the object schedule for ``profile``.
+
+    Objects arrive after exponentially distributed idle gaps and dwell for a
+    log-normal-ish duration around ``mean_dwell_seconds``.  At most
+    ``max_concurrent_objects`` are visible at once; additional arrivals are
+    deferred, which mimics e.g. queues of cars entering a junction.
+
+    Args:
+        profile: Scene description.
+
+    Returns:
+        The sampled :class:`SceneScript`.
+    """
+    rng = make_rng(profile.seed, profile.name, "script")
+    num_frames = profile.num_frames
+    specs = [spec for spec, _ in profile.object_classes]
+    weights = np.array([weight for _, weight in profile.object_classes], dtype=float)
+    weights = weights / weights.sum()
+
+    tracks: List[ObjectTrack] = []
+    # Frames at which each "lane slot" becomes free again.
+    slot_free_at = [0] * profile.max_concurrent_objects
+    cursor = int(rng.exponential(profile.mean_gap_seconds) * profile.fps)
+    while cursor < num_frames - 2:
+        slot = int(np.argmin(slot_free_at))
+        enter = max(cursor, slot_free_at[slot])
+        if enter >= num_frames - 2:
+            break
+        dwell_seconds = max(rng.normal(profile.mean_dwell_seconds,
+                                       profile.mean_dwell_seconds * 0.3),
+                            profile.mean_dwell_seconds * 0.3)
+        dwell_frames = max(int(round(dwell_seconds * profile.fps)), 2)
+        exit_frame = min(enter + dwell_frames, num_frames)
+        spec = specs[int(rng.choice(len(specs), p=weights))]
+        track = ObjectTrack(
+            label=spec.label,
+            spec=spec,
+            enter_frame=enter,
+            exit_frame=exit_frame,
+            lane_fraction=float(rng.uniform(0.25, 0.75)),
+            direction=int(rng.choice([-1, 1])),
+            brightness=float(spec.brightness_delta * rng.uniform(0.8, 1.2)
+                             * rng.choice([-1.0, 1.0], p=[0.3, 0.7])),
+            size_jitter=float(rng.uniform(0.85, 1.15)),
+        )
+        tracks.append(track)
+        slot_free_at[slot] = exit_frame
+        gap_frames = int(rng.exponential(profile.mean_gap_seconds) * profile.fps)
+        cursor = exit_frame + max(gap_frames, 1)
+    return SceneScript(tracks, num_frames)
+
+
+class SyntheticScene:
+    """Renderer for a :class:`SceneProfile`.
+
+    The renderer produces grayscale (luma) frames: the SiEVE mechanism —
+    motion-driven I-frame placement, I-frame seeking, per-frame labels — is
+    entirely determined by luma motion, and the codec, baselines and NN
+    substrate all operate on luma.  Colour frames can be obtained with
+    ``as_color=True`` (the luma plane is replicated with a mild per-channel
+    tint), which is only needed for JPEG-transport size experiments.
+
+    Args:
+        profile: Scene description.
+        script: Pre-sampled schedule; sampled from the profile when omitted.
+        as_color: Render 3-channel frames instead of grayscale.
+    """
+
+    def __init__(self, profile: SceneProfile, script: Optional[SceneScript] = None,
+                 as_color: bool = False) -> None:
+        self.profile = profile
+        self.script = script if script is not None else generate_script(profile)
+        self.as_color = as_color
+        self._background = self._render_background()
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def _render_background(self) -> np.ndarray:
+        """Render the static background texture once."""
+        resolution = self.profile.resolution
+        rng = make_rng(self.profile.seed, self.profile.name, "background")
+        height, width = resolution.shape
+        yy, xx = np.mgrid[0:height, 0:width]
+        base = 110.0 + 30.0 * (yy / max(height - 1, 1))
+        # Low-frequency texture: sum of a few random sinusoids, which gives a
+        # smooth "road / water / floor" look without needing image assets.
+        texture = np.zeros((height, width), dtype=np.float64)
+        for _ in range(6):
+            fx = rng.uniform(0.5, 4.0) * 2 * math.pi / max(width, 1)
+            fy = rng.uniform(0.5, 4.0) * 2 * math.pi / max(height, 1)
+            phase = rng.uniform(0, 2 * math.pi)
+            amplitude = rng.uniform(0.2, 1.0)
+            texture += amplitude * np.sin(fx * xx + fy * yy + phase)
+        texture *= self.profile.background_detail / max(np.abs(texture).max(), 1e-9)
+        # Static high-frequency grain (asphalt, water ripples, foliage).  It
+        # is part of the *scene*, not the sensor: it does not change between
+        # frames, but it cannot be predicted by shifting neighbouring pixels,
+        # which is what makes occlusions and disocclusions at object
+        # boundaries visible to the motion-compensating encoder.
+        grain = rng.uniform(-self.profile.texture_detail,
+                            self.profile.texture_detail, size=(height, width))
+        return np.clip(base + texture + grain, 0, 255)
+
+    def _illumination(self, frame_index: int) -> float:
+        """Slow global brightness drift at ``frame_index``."""
+        period_frames = 45.0 * self.profile.fps
+        return (self.profile.illumination_drift / 2.0) * math.sin(
+            2 * math.pi * frame_index / max(period_frames, 1.0))
+
+    def frame_array(self, frame_index: int) -> np.ndarray:
+        """Render the pixel array of ``frame_index`` (deterministic)."""
+        if not 0 <= frame_index < self.profile.num_frames:
+            raise ConfigurationError(
+                f"frame index {frame_index} outside video of {self.profile.num_frames}")
+        resolution = self.profile.resolution
+        image = self._background + self._illumination(frame_index)
+        image = image.copy()
+        for track in self.script.visible_tracks(frame_index):
+            box = track.bounding_box(frame_index, resolution)
+            if box is None:
+                continue
+            x0, y0, x1, y1 = box
+            if track.spec.shape == "rectangle":
+                image[y0:y1, x0:x1] += track.brightness
+                # A darker "window/cabin" band adds internal texture so that
+                # feature-based baselines have something to match.
+                band_top = y0 + (y1 - y0) // 4
+                band_bottom = y0 + (y1 - y0) // 2
+                image[band_top:band_bottom, x0:x1] -= track.brightness * 0.35
+            else:
+                yy, xx = np.mgrid[y0:y1, x0:x1]
+                cy, cx = (y0 + y1) / 2.0, (x0 + x1) / 2.0
+                ry, rx = max((y1 - y0) / 2.0, 1.0), max((x1 - x0) / 2.0, 1.0)
+                mask = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
+                region = image[y0:y1, x0:x1]
+                region[mask] += track.brightness
+        noise_rng = make_rng(self.profile.seed, self.profile.name, "noise",
+                             str(frame_index))
+        if self.profile.noise_std > 0:
+            image += noise_rng.normal(0.0, self.profile.noise_std, size=image.shape)
+        image = np.clip(image, 0, 255).astype(np.uint8)
+        if self.as_color:
+            tint = np.array([1.0, 0.97, 0.92])
+            image = np.clip(image[..., None] * tint, 0, 255).astype(np.uint8)
+        return image
+
+    # ------------------------------------------------------------------ #
+    # Video construction
+    # ------------------------------------------------------------------ #
+    def video(self) -> GeneratedVideo:
+        """Return a lazily rendered :class:`GeneratedVideo` with ground truth."""
+        metadata = VideoMetadata(
+            name=self.profile.name,
+            resolution=self.profile.resolution,
+            fps=self.profile.fps,
+            num_frames=self.profile.num_frames,
+            extra={"synthetic": True, "seed": self.profile.seed},
+        )
+        return GeneratedVideo(metadata, self.frame_array, self.script.timeline())
+
+    def materialised_video(self):
+        """Render every frame into memory (only sensible for short clips)."""
+        return self.video().materialise()
+
+
+def generate_scene_video(profile: SceneProfile, *,
+                         materialise: bool = False,
+                         as_color: bool = False):
+    """Convenience helper: build the video (and ground truth) for a profile.
+
+    Args:
+        profile: Scene description.
+        materialise: Render all frames into memory.
+        as_color: Render RGB frames.
+
+    Returns:
+        A :class:`GeneratedVideo` (or :class:`RawVideo` when materialised)
+        whose ``timeline`` attribute carries the ground truth.
+    """
+    scene = SyntheticScene(profile, as_color=as_color)
+    video = scene.video()
+    return video.materialise() if materialise else video

@@ -1,0 +1,157 @@
+"""Basic image operations shared by the vision baselines and the NN substrate.
+
+Everything operates on 2-D float64 luma planes (or passes colour frames
+through :func:`to_grayscale` first) and is implemented with plain numpy so
+the library has no OpenCV dependency.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Convert an image to a float64 luma plane (BT.601 weights)."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return image
+    if image.ndim == 3 and image.shape[2] == 3:
+        return image @ np.array([0.299, 0.587, 0.114])
+    raise ConfigurationError(f"expected (H, W) or (H, W, 3) image, got {image.shape}")
+
+
+def resize(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
+    """Resize an image to ``(width, height)`` with bilinear interpolation.
+
+    Args:
+        image: 2-D or 3-D array.
+        size: Target ``(width, height)``.
+
+    Returns:
+        The resized array with the same dtype as the input (rounded for
+        integer inputs).
+    """
+    width, height = size
+    if width <= 0 or height <= 0:
+        raise ConfigurationError(f"target size must be positive, got {size}")
+    source = np.asarray(image)
+    src_h, src_w = source.shape[:2]
+    if (src_w, src_h) == (width, height):
+        return source.copy()
+    row_positions = np.linspace(0, src_h - 1, height)
+    col_positions = np.linspace(0, src_w - 1, width)
+    row_low = np.floor(row_positions).astype(int)
+    col_low = np.floor(col_positions).astype(int)
+    row_high = np.minimum(row_low + 1, src_h - 1)
+    col_high = np.minimum(col_low + 1, src_w - 1)
+    row_frac = (row_positions - row_low)
+    col_frac = (col_positions - col_low)
+    working = source.astype(np.float64)
+
+    def gather(rows, cols):
+        return working[np.ix_(rows, cols)]
+
+    top = (gather(row_low, col_low).T * (1 - col_frac[:, None])
+           + gather(row_low, col_high).T * col_frac[:, None]).T
+    bottom = (gather(row_high, col_low).T * (1 - col_frac[:, None])
+              + gather(row_high, col_high).T * col_frac[:, None]).T
+    resized = top * (1 - row_frac)[:, None] + bottom * row_frac[:, None]
+    if np.issubdtype(source.dtype, np.integer):
+        return np.clip(np.round(resized), 0, 255).astype(source.dtype)
+    return resized
+
+
+@lru_cache(maxsize=32)
+def gaussian_kernel_1d(sigma: float, radius: int) -> np.ndarray:
+    """Normalised 1-D Gaussian kernel."""
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be positive, got {sigma}")
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs ** 2) / (2.0 * sigma ** 2))
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur of a 2-D plane (reflect padding).
+
+    Uses :func:`scipy.ndimage.gaussian_filter` when SciPy is available and
+    falls back to a pure-numpy separable convolution otherwise; both paths
+    use the same truncation radius so results agree to numerical precision.
+    """
+    plane = np.asarray(image, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ConfigurationError("gaussian_blur expects a 2-D plane")
+    if sigma <= 0:
+        return plane.copy()
+    try:
+        from scipy import ndimage
+    except ImportError:  # pragma: no cover - SciPy is an optional accelerator.
+        ndimage = None
+    if ndimage is not None:
+        return ndimage.gaussian_filter(plane, sigma=float(sigma), mode="reflect",
+                                       truncate=3.0)
+    radius = max(int(round(3.0 * sigma)), 1)
+    kernel = gaussian_kernel_1d(float(sigma), radius)
+    padded = np.pad(plane, ((0, 0), (radius, radius)), mode="reflect")
+    blurred = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="valid"), 1, padded)
+    padded = np.pad(blurred, ((radius, radius), (0, 0)), mode="reflect")
+    return np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="valid"), 0, padded)
+
+
+def gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Central-difference gradients ``(dy, dx)`` of a 2-D plane."""
+    plane = np.asarray(image, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ConfigurationError("gradients expects a 2-D plane")
+    dy = np.zeros_like(plane)
+    dx = np.zeros_like(plane)
+    dy[1:-1, :] = (plane[2:, :] - plane[:-2, :]) / 2.0
+    dx[:, 1:-1] = (plane[:, 2:] - plane[:, :-2]) / 2.0
+    return dy, dx
+
+
+def gradient_magnitude_orientation(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradient magnitude and orientation (radians in ``[0, 2*pi)``)."""
+    dy, dx = gradients(image)
+    magnitude = np.hypot(dx, dy)
+    orientation = np.mod(np.arctan2(dy, dx), 2.0 * np.pi)
+    return magnitude, orientation
+
+
+def downsample(image: np.ndarray, factor: int = 2) -> np.ndarray:
+    """Downsample a 2-D plane by an integer factor (block averaging)."""
+    if factor < 1:
+        raise ConfigurationError("factor must be >= 1")
+    plane = np.asarray(image, dtype=np.float64)
+    height = (plane.shape[0] // factor) * factor
+    width = (plane.shape[1] // factor) * factor
+    if height == 0 or width == 0:
+        raise ConfigurationError("image too small for the requested downsampling")
+    trimmed = plane[:height, :width]
+    return trimmed.reshape(height // factor, factor, width // factor, factor).mean(
+        axis=(1, 3))
+
+
+def normalize_plane(image: np.ndarray) -> np.ndarray:
+    """Scale a plane to zero mean and unit variance (used by NN preprocessing)."""
+    plane = np.asarray(image, dtype=np.float64)
+    std = plane.std()
+    if std < 1e-12:
+        return np.zeros_like(plane)
+    return (plane - plane.mean()) / std
+
+
+def mean_squared_error(first: np.ndarray, second: np.ndarray) -> float:
+    """Pixel-wise mean squared error between two planes of equal shape."""
+    a = np.asarray(first, dtype=np.float64)
+    b = np.asarray(second, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ConfigurationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))

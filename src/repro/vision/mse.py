@@ -1,0 +1,60 @@
+"""Mean-squared-error change detector (baseline).
+
+The simplest decode-based filter evaluated in the paper: decode every frame,
+compute the pixel-wise mean squared difference against the previous frame,
+and forward the frame to the NN when the difference exceeds a threshold.
+MSE is cheap but purely global, so it is good at catching small objects
+(whose few changed pixels still shift the global mean) yet blind to *which*
+part of the scene changed and easily disturbed by illumination drift — the
+behaviour the paper observes in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .imageops import downsample, mean_squared_error
+from .similarity import ChangeDetector
+
+
+class MseChangeDetector(ChangeDetector):
+    """Frame-difference detector using pixel-wise mean squared error.
+
+    Args:
+        downsample_factor: Optional integer factor by which frames are
+            downsampled before the comparison (NoScope uses 100x100
+            thumbnails; ``1`` compares at full resolution).
+        blur_sigma: Unused placeholder for API symmetry with richer
+            detectors; MSE operates on raw pixels.
+    """
+
+    name = "mse"
+
+    def __init__(self, downsample_factor: int = 1) -> None:
+        if downsample_factor < 1:
+            raise ConfigurationError("downsample_factor must be >= 1")
+        self.downsample_factor = downsample_factor
+        self._previous: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._previous = None
+
+    def _prepare(self, plane: np.ndarray) -> np.ndarray:
+        plane = np.asarray(plane, dtype=np.float64)
+        if self.downsample_factor > 1:
+            plane = downsample(plane, self.downsample_factor)
+        return plane
+
+    def score_pair(self, previous: np.ndarray, current: np.ndarray) -> float:
+        return mean_squared_error(self._prepare(previous), self._prepare(current))
+
+    def score_next(self, current: np.ndarray) -> float:
+        prepared = self._prepare(current)
+        previous = self._previous
+        self._previous = prepared
+        if previous is None:
+            return float("inf")
+        return mean_squared_error(previous, prepared)

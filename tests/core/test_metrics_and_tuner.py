@@ -1,0 +1,143 @@
+"""Tests for the event-detection metrics and the offline tuner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec import EncoderParameters
+from repro.core import (DEFAULT_GOP_GRID, DEFAULT_SCENECUT_GRID, ParameterLookupTable,
+                        SemanticEncoderTuner, TuningGrid, evaluate_sampling, f1_score,
+                        propagate_labels, propagation_accuracy, sampling_fraction)
+from repro.core.metrics import (detection_latencies, event_start_accuracy,
+                                summarize_latencies)
+from repro.errors import ConfigurationError, TuningError
+from repro.video import EventTimeline
+
+
+def make_timeline():
+    labels = [set()] * 10 + [{"car"}] * 10 + [set()] * 10
+    return EventTimeline.from_frame_labels(labels)
+
+
+class TestMetrics:
+    def test_perfect_sampling(self):
+        timeline = make_timeline()
+        score = evaluate_sampling(timeline, [0, 10, 20])
+        assert score.accuracy == 1.0
+        assert score.event_accuracy == 1.0
+        assert score.sampling_fraction == pytest.approx(0.1)
+        assert score.f1 == pytest.approx(f1_score(1.0, 0.9))
+
+    def test_late_detection_costs_accuracy(self):
+        timeline = make_timeline()
+        score = evaluate_sampling(timeline, [0, 15, 20])
+        # Frames 10-14 keep the stale background label: 5 of 30 frames wrong.
+        assert score.accuracy == pytest.approx(25 / 30)
+        assert score.event_accuracy == pytest.approx(25 / 30)
+
+    def test_missed_event(self):
+        timeline = make_timeline()
+        score = evaluate_sampling(timeline, [0])
+        assert score.accuracy == pytest.approx(20 / 30)
+        latencies = detection_latencies(timeline, [0])
+        assert latencies == [0, None, None]
+        summary = summarize_latencies(latencies)
+        assert summary["miss_rate"] == pytest.approx(2 / 3)
+
+    def test_propagate_labels_before_first_sample(self):
+        timeline = make_timeline()
+        labels = propagate_labels(timeline, [12])
+        assert labels[0] == frozenset()
+        assert labels[12] == frozenset({"car"})
+        assert labels[25] == frozenset({"car"})  # stale after the event ends
+
+    def test_sampling_every_frame_is_perfect_but_filters_nothing(self):
+        timeline = make_timeline()
+        score = evaluate_sampling(timeline, list(range(30)))
+        assert score.accuracy == 1.0
+        assert score.filtering_rate == 0.0
+        assert score.f1 == 0.0
+
+    def test_f1_and_fraction_validation(self):
+        assert f1_score(0.0, 0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            f1_score(-0.1, 0.5)
+        with pytest.raises(ConfigurationError):
+            sampling_fraction([0], 0)
+        with pytest.raises(ConfigurationError):
+            evaluate_sampling(make_timeline(), [40])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=29), max_size=30))
+    def test_property_bounds_and_monotonicity(self, samples):
+        timeline = make_timeline()
+        samples = sorted(samples)
+        score = evaluate_sampling(timeline, samples)
+        assert 0.0 <= score.accuracy <= 1.0
+        assert 0.0 <= score.f1 <= 1.0
+        assert score.event_accuracy <= score.accuracy + 1e-9
+        # Adding the event-start frames can never reduce accuracy.
+        richer = evaluate_sampling(timeline, sorted(set(samples) | {0, 10, 20}))
+        assert richer.accuracy >= score.accuracy - 1e-9
+
+    def test_accuracy_variants_agree_when_every_event_sampled(self):
+        timeline = make_timeline()
+        samples = [0, 13, 20]
+        assert propagation_accuracy(timeline, samples) == pytest.approx(
+            event_start_accuracy(timeline, samples))
+
+
+class TestTuner:
+    def test_grid_size_matches_paper(self):
+        grid = TuningGrid()
+        assert grid.num_configurations == 25
+        assert grid.gop_sizes == DEFAULT_GOP_GRID
+        assert grid.scenecut_thresholds == DEFAULT_SCENECUT_GRID
+        assert len(grid.configurations()) == 25
+        with pytest.raises(TuningError):
+            TuningGrid(gop_sizes=())
+
+    def test_tune_finds_high_f1_configuration(self, tiny_video, tiny_timeline):
+        tuner = SemanticEncoderTuner()
+        result = tuner.tune(tiny_video, camera_name="tiny")
+        assert len(result.results) == 25
+        assert result.best.score.f1 == max(r.score.f1 for r in result.results)
+        assert result.best.score.f1 > 0.85
+        assert result.best.score.accuracy > 0.85
+        # The tuned configuration must beat the default one on F1.
+        default_score = evaluate_sampling(
+            tiny_timeline,
+            next(r for r in result.results
+                 if r.parameters.gop_size == 250
+                 and r.parameters.scenecut_threshold == 40.0).keyframe_indices)
+        assert result.best.score.f1 >= default_score.f1
+
+    def test_tune_from_activities_validates_length(self, tiny_activities, tiny_timeline):
+        tuner = SemanticEncoderTuner()
+        with pytest.raises(TuningError):
+            tuner.tune_from_activities(tiny_activities[:-1], tiny_timeline)
+
+    def test_tune_requires_ground_truth(self, tiny_video):
+        video_without_truth = tiny_video.materialise()
+        video_without_truth.timeline = None
+        with pytest.raises(TuningError):
+            SemanticEncoderTuner().tune(video_without_truth)
+
+    def test_leaderboard_and_table(self, tiny_activities, tiny_timeline):
+        result = SemanticEncoderTuner().tune_from_activities(
+            tiny_activities, tiny_timeline, "tiny")
+        top = result.leaderboard(3)
+        assert len(top) == 3
+        assert top[0].score.f1 >= top[1].score.f1 >= top[2].score.f1
+        table = result.as_table()
+        assert len(table) == 25
+        assert {"gop_size", "scenecut", "f1"} <= set(table[0])
+
+    def test_lookup_table(self):
+        table = ParameterLookupTable()
+        parameters = EncoderParameters(gop_size=500, scenecut_threshold=200)
+        table.store("cam", parameters)
+        assert "cam" in table and len(table) == 1
+        assert table.lookup("cam") == parameters
+        assert table.as_dict() == {"cam": parameters}
+        with pytest.raises(TuningError):
+            table.lookup("other")

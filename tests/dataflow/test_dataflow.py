@@ -1,0 +1,169 @@
+"""Tests for the dataflow engine, built-in operators and the orchestrator."""
+
+import pytest
+
+from repro.cluster.resultdb import ResultDatabase
+from repro.dataflow import (DataflowEngine, DecodeKeyframeOperator,
+                            DetectObjectsOperator, FilterOperator, FrameTask,
+                            FunctionOperator, Orchestrator, ResizeOperator,
+                            ResultWriterOperator, SinkOperator, SourceOperator,
+                            frame_tasks_from_encoded)
+from repro.errors import DataflowError
+from repro.net import Channel, NetworkLink
+from repro.nn import OracleDetector
+
+
+def build_linear_engine(items):
+    engine = DataflowEngine("test")
+    engine.add_operator(SourceOperator("source", items))
+    engine.add_operator(FunctionOperator("double", lambda x: x * 2,
+                                         cost_fn=lambda x: 0.01))
+    engine.add_operator(FilterOperator("evens", lambda x: x % 4 == 0))
+    engine.add_operator(SinkOperator("sink"))
+    engine.connect("source", "double")
+    engine.connect("double", "evens")
+    engine.connect("evens", "sink")
+    return engine
+
+
+class TestEngine:
+    def test_linear_pipeline(self):
+        engine = build_linear_engine([1, 2, 3, 4, 5])
+        sinks = engine.run()
+        assert sinks["sink"] == [2, 4, 6, 8, 10][1::2]  # doubled values divisible by 4
+        assert engine.busy_seconds == pytest.approx(0.05)
+        stats = engine.stats()
+        assert stats["double"]["processed"] == 5
+
+    def test_duplicate_operator_rejected(self):
+        engine = DataflowEngine("dup")
+        engine.add_operator(SinkOperator("sink"))
+        with pytest.raises(DataflowError):
+            engine.add_operator(SinkOperator("sink"))
+
+    def test_unknown_connection_rejected(self):
+        engine = DataflowEngine("bad")
+        engine.add_operator(SinkOperator("sink"))
+        with pytest.raises(DataflowError):
+            engine.connect("sink", "missing")
+
+    def test_cycle_rejected(self):
+        engine = DataflowEngine("cycle")
+        engine.add_operator(FunctionOperator("a", lambda x: x))
+        engine.add_operator(FunctionOperator("b", lambda x: x))
+        engine.connect("a", "b")
+        with pytest.raises(DataflowError):
+            engine.connect("b", "a")
+
+    def test_fan_out_delivers_to_all_downstreams(self):
+        engine = DataflowEngine("fan")
+        engine.add_operator(SourceOperator("source", [1, 2]))
+        engine.add_operator(SinkOperator("left"))
+        engine.add_operator(SinkOperator("right"))
+        engine.connect("source", "left")
+        engine.connect("source", "right")
+        sinks = engine.run()
+        assert sinks["left"] == [1, 2] and sinks["right"] == [1, 2]
+
+    def test_external_inputs_and_reset(self):
+        engine = DataflowEngine("ext")
+        engine.add_operator(FunctionOperator("inc", lambda x: x + 1))
+        engine.add_operator(SinkOperator("sink"))
+        engine.connect("inc", "sink")
+        assert engine.run({"inc": [1, 2]})["sink"] == [2, 3]
+        engine.reset()
+        assert engine.run({"inc": [5]})["sink"] == [6]
+
+    def test_empty_engine_rejected(self):
+        with pytest.raises(DataflowError):
+            DataflowEngine("empty").run()
+
+    def test_function_operator_list_and_drop(self):
+        engine = DataflowEngine("multi")
+        engine.add_operator(SourceOperator("source", [1, 2, 3]))
+        engine.add_operator(FunctionOperator(
+            "expand", lambda x: [x, x] if x % 2 else None))
+        engine.add_operator(SinkOperator("sink"))
+        engine.connect("source", "expand")
+        engine.connect("expand", "sink")
+        assert engine.run()["sink"] == [1, 1, 3, 3]
+
+
+class TestBuiltinOperators:
+    def test_video_analytics_graph(self, tiny_encoded_payload, tiny_timeline):
+        """Decode -> resize -> detect -> record over real I-frame payloads."""
+        keyframes = [f for f in tiny_encoded_payload.frames if f.is_keyframe][:4]
+        tasks = frame_tasks_from_encoded("tiny", keyframes)
+        results = ResultDatabase()
+        engine = DataflowEngine("edge")
+        engine.add_operator(SourceOperator("events", tasks))
+        engine.add_operator(DecodeKeyframeOperator("decode", 0.006))
+        engine.add_operator(ResizeOperator("resize", (32, 32), 0.001))
+        engine.add_operator(DetectObjectsOperator(
+            "detect", OracleDetector(tiny_timeline), 0.02))
+        engine.add_operator(ResultWriterOperator("write", results))
+        engine.add_operator(SinkOperator("sink"))
+        engine.connect("events", "decode")
+        engine.connect("decode", "resize")
+        engine.connect("resize", "detect")
+        engine.connect("detect", "write")
+        engine.connect("write", "sink")
+        sinks = engine.run()
+        assert len(sinks["sink"]) == len(keyframes)
+        assert len(results) == len(keyframes)
+        first = sinks["sink"][0]
+        assert first.pixels is not None and first.pixels.shape == (32, 32)
+        assert first.labels == tiny_timeline.labels_at(first.frame_index)
+        assert engine.busy_seconds == pytest.approx(len(keyframes) * 0.027)
+
+    def test_operator_type_checking(self):
+        operator = DecodeKeyframeOperator("decode")
+        with pytest.raises(DataflowError):
+            operator.process("not a frame task")
+
+    def test_result_writer_accepts_plain_dict(self):
+        store = {}
+        writer = ResultWriterOperator("write", store)
+        writer.process(FrameTask("v", 3, labels=frozenset({"car"})))
+        assert store[("v", 3)] == frozenset({"car"})
+
+
+class TestOrchestrator:
+    def test_edge_to_cloud_handoff(self, tiny_encoded, tiny_timeline):
+        keyframes = [f for f in tiny_encoded.frames if f.is_keyframe]
+        edge = DataflowEngine("edge")
+        edge.add_operator(SourceOperator("seek", frame_tasks_from_encoded(
+            "tiny", keyframes)))
+        edge.add_operator(SinkOperator("uplink"))
+        edge.connect("seek", "uplink")
+
+        results = ResultDatabase()
+        cloud = DataflowEngine("cloud")
+        cloud.add_operator(DetectObjectsOperator(
+            "detect", OracleDetector(tiny_timeline), 0.02))
+        cloud.add_operator(ResultWriterOperator("write", results))
+        cloud.add_operator(SinkOperator("done"))
+        cloud.connect("detect", "write")
+        cloud.connect("write", "done")
+
+        link = NetworkLink("edge-cloud", bandwidth_mbps=30.0)
+        orchestrator = Orchestrator(edge, cloud, Channel("edge", "cloud", link))
+        sinks = orchestrator.run(handoff_sink="uplink", cloud_entry="detect")
+        assert len(sinks["done"]) == len(keyframes)
+        assert len(results) == len(keyframes)
+        assert link.total_bytes == sum(frame.size_bytes for frame in keyframes)
+        summary = orchestrator.summary()
+        assert summary["transferred_bytes"] == link.total_bytes
+        assert summary["compute_seconds"] > 0
+
+    def test_missing_sink_rejected(self, tiny_encoded):
+        edge = DataflowEngine("edge")
+        edge.add_operator(SourceOperator("seek", []))
+        edge.add_operator(SinkOperator("uplink"))
+        edge.connect("seek", "uplink")
+        cloud = DataflowEngine("cloud")
+        cloud.add_operator(SinkOperator("done"))
+        orchestrator = Orchestrator(edge, cloud,
+                                    Channel("edge", "cloud", NetworkLink("l", 1.0)))
+        with pytest.raises(DataflowError):
+            orchestrator.run(handoff_sink="nope", cloud_entry="done")

@@ -1,0 +1,79 @@
+"""Tests for the simulated network links, channels and the 3-tier topology."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import NetworkError
+from repro.net import Channel, NetworkLink, ThreeTierTopology
+
+
+class TestNetworkLink:
+    def test_transfer_time_matches_bandwidth(self):
+        link = NetworkLink("wan", bandwidth_mbps=30.0, latency_ms=0.0)
+        # 30 Mbps == 3.75 MB/s, so 3.75 MB takes one second.
+        assert link.transfer_seconds(3_750_000) == pytest.approx(1.0)
+
+    def test_latency_added(self):
+        link = NetworkLink("wan", bandwidth_mbps=1000.0, latency_ms=50.0)
+        assert link.transfer_seconds(0) == pytest.approx(0.05)
+
+    def test_accounting(self):
+        link = NetworkLink("wan", bandwidth_mbps=10.0)
+        link.transfer(1000, "a")
+        link.transfer(2000, "b")
+        assert link.total_bytes == 3000
+        assert len(link.transfers) == 2
+        assert link.total_seconds == pytest.approx(link.transfer_seconds(1000)
+                                                   + link.transfer_seconds(2000))
+        link.reset()
+        assert link.total_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            NetworkLink("bad", bandwidth_mbps=0.0)
+        link = NetworkLink("ok", bandwidth_mbps=1.0)
+        with pytest.raises(NetworkError):
+            link.transfer_seconds(-1)
+
+
+class TestChannel:
+    def test_fifo_delivery_and_accounting(self):
+        link = NetworkLink("wan", bandwidth_mbps=8.0)
+        channel = Channel("edge", "cloud", link)
+        channel.send("first", 1000)
+        channel.send("second", 2000)
+        assert channel.pending == 2
+        assert channel.receive().payload == "first"
+        assert [message.payload for message in channel.receive_all()] == ["second"]
+        assert channel.receive() is None
+        assert link.total_bytes == 3000
+        assert channel.delivered_messages == 2
+
+    def test_negative_size_rejected(self):
+        channel = Channel("a", "b", NetworkLink("l", 1.0))
+        with pytest.raises(NetworkError):
+            channel.send("x", -1)
+
+
+class TestTopology:
+    def test_camera_registration_and_links(self):
+        topology = ThreeTierTopology(config=SystemConfig())
+        link = topology.add_camera("jackson_square")
+        assert topology.camera_link("jackson_square") is link
+        assert topology.cameras == ["jackson_square"]
+        assert topology.edge_cloud_link.bandwidth_mbps == 30.0
+        with pytest.raises(NetworkError):
+            topology.add_camera("jackson_square")
+        with pytest.raises(NetworkError):
+            topology.camera_link("unknown")
+
+    def test_byte_accounting_and_reset(self):
+        topology = ThreeTierTopology()
+        topology.add_camera("a").transfer(500)
+        topology.add_camera("b").transfer(700)
+        topology.edge_cloud_link.transfer(900)
+        assert topology.total_camera_edge_bytes() == 1200
+        assert topology.total_edge_cloud_bytes() == 900
+        topology.reset()
+        assert topology.total_camera_edge_bytes() == 0
+        assert topology.total_edge_cloud_bytes() == 0

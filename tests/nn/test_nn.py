@@ -1,0 +1,186 @@
+"""Tests for the numpy NN engine, YoloLite, the oracle and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import (CLOUD_DEVICE, EDGE_DEVICE, Conv2D, Dense, DeviceSpec, Flatten,
+                      GlobalAveragePool, MaxPool2D, ModelProfiler,
+                      NeurosurgeonPartitioner, OracleDetector, ConstantDetector,
+                      ReLU, SequentialModel, Softmax, build_yolo_lite, classify_frame,
+                      detect_many, model_size_bytes, preprocess_frame)
+from repro.video.events import EventTimeline
+
+
+class TestLayers:
+    def test_conv_shapes_and_flops(self):
+        conv = Conv2D(3, 8, kernel_size=3, padding="same", name="c")
+        assert conv.output_shape((3, 16, 16)) == (8, 16, 16)
+        assert conv.num_parameters == 3 * 8 * 9 + 8
+        assert conv.flops((3, 16, 16)) == 8 * 16 * 16 * 3 * 9
+        valid = Conv2D(3, 8, kernel_size=3, padding="valid")
+        assert valid.output_shape((3, 16, 16)) == (8, 14, 14)
+
+    def test_conv_identity_kernel(self):
+        conv = Conv2D(1, 1, kernel_size=3, padding="same")
+        conv.weights[:] = 0.0
+        conv.weights[0, 0, 1, 1] = 1.0
+        conv.bias[:] = 0.0
+        inputs = np.random.default_rng(0).normal(size=(1, 8, 8))
+        assert np.allclose(conv.forward(inputs), inputs, atol=1e-12)
+
+    def test_relu_and_softmax(self):
+        assert np.array_equal(ReLU().forward(np.array([-1.0, 2.0])), [0.0, 2.0])
+        probabilities = Softmax().forward(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.allclose(probabilities, 0.25)
+
+    def test_maxpool(self):
+        plane = np.arange(16.0).reshape(1, 4, 4)
+        pooled = MaxPool2D(2).forward(plane)
+        assert pooled.shape == (1, 2, 2)
+        assert pooled[0, 0, 0] == 5.0 and pooled[0, 1, 1] == 15.0
+
+    def test_global_average_pool_and_flatten(self):
+        plane = np.ones((3, 4, 4))
+        assert np.allclose(GlobalAveragePool().forward(plane), 1.0)
+        assert Flatten().forward(plane).shape == (48,)
+
+    def test_dense(self):
+        dense = Dense(4, 2)
+        dense.weights[:] = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0]])
+        dense.bias[:] = np.array([1.0, -1.0])
+        assert np.allclose(dense.forward(np.array([2.0, 3.0, 0, 0])), [3.0, 2.0])
+        with pytest.raises(ModelError):
+            dense.forward(np.zeros(5))
+
+    def test_invalid_layer_parameters(self):
+        with pytest.raises(ModelError):
+            Conv2D(0, 4)
+        with pytest.raises(ModelError):
+            Dense(4, 0)
+
+
+class TestSequentialModel:
+    def test_shape_chain_validated_eagerly(self):
+        with pytest.raises(ModelError):
+            SequentialModel([Conv2D(3, 4), Dense(10, 2)], input_shape=(3, 8, 8))
+
+    def test_forward_and_ranges(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25)
+        tensor = np.random.default_rng(0).normal(size=model.input_shape)
+        full = model.forward(tensor)
+        split = model.num_layers // 2
+        partial = model.forward_range(tensor, 0, split)
+        resumed = model.forward_range(partial, split, model.num_layers)
+        assert np.allclose(full, resumed, atol=1e-9)
+        assert full.shape == model.output_shape
+        assert full.sum() == pytest.approx(1.0)
+
+    def test_summary_consistency(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25)
+        summary = model.summary()
+        assert len(summary) == model.num_layers
+        assert sum(entry.num_parameters for entry in summary) == model.num_parameters
+        assert model.total_flops() > 0
+
+    def test_invalid_range(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25)
+        with pytest.raises(ModelError):
+            model.forward_range(np.zeros(model.input_shape), 3, 1)
+
+
+class TestYoloLite:
+    def test_classifier_outputs_known_label(self, rng):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.5)
+        frame = rng.integers(0, 255, size=(60, 80), dtype=np.uint8)
+        label, probabilities = classify_frame(model, frame)
+        assert label in model.classes
+        assert probabilities.shape == (len(model.classes),)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_preprocess_shape(self, rng):
+        tensor = preprocess_frame(rng.integers(0, 255, size=(45, 77, 3)), (32, 32))
+        assert tensor.shape == (1, 32, 32)
+
+    def test_deterministic_weights(self):
+        a = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25, seed=3)
+        b = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25, seed=3)
+        assert np.array_equal(a.layers[0].weights, b.layers[0].weights)
+        assert model_size_bytes(a) == a.num_parameters * 4
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ModelError):
+            build_yolo_lite(classes=("only-one",))
+        with pytest.raises(ModelError):
+            build_yolo_lite(input_size=(8, 8))
+
+
+class TestOracle:
+    def _timeline(self):
+        labels = [set()] * 5 + [{"car"}] * 5 + [set()] * 5
+        return EventTimeline.from_frame_labels(labels)
+
+    def test_perfect_oracle(self):
+        timeline = self._timeline()
+        oracle = OracleDetector(timeline)
+        assert oracle.detect(7) == frozenset({"car"})
+        assert oracle.detect(2) == frozenset()
+        assert detect_many(oracle, [0, 7]) == {0: frozenset(), 7: frozenset({"car"})}
+
+    def test_error_rate_perturbs_some_frames(self):
+        timeline = self._timeline()
+        noisy = OracleDetector(timeline, error_rate=1.0, label_pool={"car", "bus"})
+        wrong = sum(noisy.detect(i) != timeline.labels_at(i) for i in range(15))
+        assert wrong >= 10
+
+    def test_error_rate_validation(self):
+        with pytest.raises(ModelError):
+            OracleDetector(self._timeline(), error_rate=2.0)
+
+    def test_constant_detector(self):
+        detector = ConstantDetector({"person"})
+        assert detector.detect(0) == frozenset({"person"})
+
+
+class TestProfilerAndPartitioning:
+    def test_analytical_profile_scales_with_device(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25)
+        profiler = ModelProfiler(model)
+        edge = profiler.total_compute_ms(EDGE_DEVICE)
+        cloud = profiler.total_compute_ms(CLOUD_DEVICE)
+        assert edge > cloud
+        table = profiler.profile_table()
+        assert len(table) == model.num_layers
+        assert all("edge_ms" in row and "cloud_ms" in row for row in table)
+
+    def test_measured_profile_runs(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25)
+        profiles = ModelProfiler(model).measured_profile(repetitions=1)
+        assert len(profiles) == model.num_layers
+        assert all(profile.compute_ms >= 0 for profile in profiles)
+
+    def test_partitioner_prefers_cloud_on_fast_network(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.5)
+        decision = NeurosurgeonPartitioner(model).decide(bandwidth_mbps=10_000.0)
+        assert decision.best.total_ms <= decision.edge_only_ms + 1e-9
+        assert decision.best.split_index < model.num_layers
+
+    def test_partitioner_prefers_edge_on_slow_network(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.5)
+        decision = NeurosurgeonPartitioner(model).decide(bandwidth_mbps=0.01)
+        # On a near-dead link the best plan keeps (almost) everything on the
+        # edge so that only the tiny final vector crosses the network.
+        assert decision.best.split_index >= model.num_layers - 2
+        assert decision.best.transfer_bytes <= 4096
+
+    def test_candidate_count_and_validation(self):
+        model = build_yolo_lite(input_size=(32, 32), width_multiplier=0.25)
+        partitioner = NeurosurgeonPartitioner(model)
+        decision = partitioner.decide(bandwidth_mbps=30.0)
+        assert len(decision.candidates) == model.num_layers + 1
+        assert decision.speedup_over_edge >= 1.0 or decision.speedup_over_cloud >= 1.0
+        with pytest.raises(ModelError):
+            partitioner.evaluate_split(model.num_layers + 1, 30.0)
+        with pytest.raises(ModelError):
+            DeviceSpec(name="bad", effective_gflops=0.0)
