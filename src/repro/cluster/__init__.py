@@ -4,6 +4,8 @@ from .camera import Camera
 from .cloud import CloudServer
 from .costmodel import CostModel
 from .edge import EdgeServer
+from .fleet import (CameraJob, FleetOrchestrator, FleetReport, JobOutcome,
+                    PlacementPolicy, TierReport, sweep_edge_counts)
 from .node import (ComputeNode, default_camera_node, default_cloud_node,
                    default_edge_node)
 from .resultdb import ResultDatabase, ResultRecord
@@ -11,6 +13,8 @@ from .storage import EdgeStorage
 
 __all__ = [
     "Camera", "CloudServer", "CostModel", "EdgeServer",
+    "CameraJob", "FleetOrchestrator", "FleetReport", "JobOutcome",
+    "PlacementPolicy", "TierReport", "sweep_edge_counts",
     "ComputeNode", "default_camera_node", "default_cloud_node", "default_edge_node",
     "ResultDatabase", "ResultRecord", "EdgeStorage",
 ]

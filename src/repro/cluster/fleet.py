@@ -1,0 +1,440 @@
+"""Multi-edge fleet orchestration over the discrete-event scheduler.
+
+The paper's testbed is one camera feed per experiment: one edge desktop, one
+cloud server, one WAN link.  A production deployment of the same NiFi-style
+pipeline serves a *fleet* — N cameras sharded over M edge servers that all
+funnel into the cloud tier.  :class:`FleetOrchestrator` simulates that
+deployment on the shared virtual clock of
+:mod:`repro.dataflow.scheduler`:
+
+* each camera contributes one :class:`CameraJob` — the planned per-tier
+  compute seconds and transfer bytes of pushing its footage through a
+  deployment mode (the planning lives in :func:`repro.core.pipeline`'s
+  ``plan_camera_job`` so this module stays mode-agnostic);
+* a :class:`PlacementPolicy` shards cameras across edge servers;
+* every tier is a contended resource: camera->edge LAN links and
+  edge->cloud WAN links queue through
+  :class:`~repro.net.contention.ContendedLink`, edge and cloud compute
+  through :class:`~repro.dataflow.scheduler.ServiceStation`;
+* the resulting :class:`FleetReport` adds what the single-engine evaluation
+  cannot see — per-tier utilisation, peak queue depths, and end-to-end
+  latency percentiles — alongside the familiar throughput/bytes totals.
+
+Determinism: given the same job list, configuration and ``seed``, two runs
+produce identical reports (see the seeding contract in :mod:`repro.rng`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..dataflow.scheduler import EventScheduler, ServiceStation
+from ..errors import ClusterError
+from ..net.contention import ContendedLink
+from ..net.link import NetworkLink
+from ..rng import make_rng
+
+#: Latency percentiles reported by the fleet simulator.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+class PlacementPolicy(enum.Enum):
+    """How cameras are sharded across the edge servers."""
+
+    ROUND_ROBIN = "round-robin"
+    LEAST_LOADED = "least-loaded"
+    BANDWIDTH_AWARE = "bandwidth-aware"
+
+    @classmethod
+    def from_name(cls, name: "PlacementPolicy | str") -> "PlacementPolicy":
+        """Coerce a policy or its string value into a :class:`PlacementPolicy`."""
+        if isinstance(name, cls):
+            return name
+        for policy in cls:
+            if policy.value == name or policy.name.lower() == str(name).lower():
+                return policy
+        raise ClusterError(
+            f"unknown placement policy {name!r}; "
+            f"expected one of {[policy.value for policy in cls]}")
+
+
+@dataclass(frozen=True)
+class CameraJob:
+    """The planned cost of pushing one camera's footage through the fleet.
+
+    Attributes:
+        camera: Camera name (unique within the fleet).
+        video: Name of the workload/video the camera serves.
+        num_frames: Total frames in the footage (I and P).
+        frames_for_inference: Frames that undergo NN inference.
+        edge_seconds: Compute seconds charged to the camera's edge server.
+        cloud_seconds: Compute seconds charged to the cloud tier.
+        camera_edge_bytes: Bytes moved camera -> edge (LAN).
+        edge_cloud_bytes: Bytes moved edge -> cloud (WAN).
+        transfer_description: Label recorded on the WAN transfer.
+        accuracy: Per-frame label accuracy (``nan`` when unlabelled).
+    """
+
+    camera: str
+    video: str
+    num_frames: int
+    frames_for_inference: int
+    edge_seconds: float
+    cloud_seconds: float
+    camera_edge_bytes: int
+    edge_cloud_bytes: int
+    transfer_description: str = ""
+    accuracy: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 0 or self.frames_for_inference < 0:
+            raise ClusterError("frame counts must be >= 0")
+        if self.edge_seconds < 0 or self.cloud_seconds < 0:
+            raise ClusterError("compute seconds must be >= 0")
+        if self.camera_edge_bytes < 0 or self.edge_cloud_bytes < 0:
+            raise ClusterError("transfer bytes must be >= 0")
+
+
+@dataclass
+class JobOutcome:
+    """Timeline of one camera job through the fleet.
+
+    Attributes:
+        job: The planned job.
+        edge_index: Edge server the camera was placed on.
+        start_seconds: Virtual time the camera started streaming.
+        end_seconds: Virtual time the cloud finished its inference.
+    """
+
+    job: CameraJob
+    edge_index: int
+    start_seconds: float
+    end_seconds: float = float("nan")
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end latency of the camera's footage through the fleet."""
+        return self.end_seconds - self.start_seconds
+
+
+@dataclass
+class TierReport:
+    """Utilisation and queueing of one fleet tier (or one station).
+
+    Attributes:
+        busy_seconds: Total service time consumed.
+        utilisation: ``busy / (capacity * makespan)``.
+        max_queue_depth: Peak number of waiting jobs.
+        completed: Jobs served.
+    """
+
+    busy_seconds: float
+    utilisation: float
+    max_queue_depth: int
+    completed: int
+
+
+@dataclass
+class FleetReport:
+    """What one fleet simulation produced.
+
+    Attributes:
+        policy: Placement policy used.
+        num_edge_servers: Edge servers in the fleet.
+        num_cameras: Cameras served.
+        makespan_seconds: Virtual time at which the last job completed.
+        total_frames: Frames across all cameras.
+        frames_for_inference: Frames that underwent NN inference.
+        camera_edge_bytes: Total LAN bytes (camera -> edge).
+        edge_cloud_bytes: Total WAN bytes (edge -> cloud).
+        edge_busy_seconds: Total edge compute seconds across the fleet.
+        cloud_busy_seconds: Total cloud compute seconds.
+        wan_transfer_seconds: Total WAN transfer seconds.
+        edge_tiers: Per-edge-server compute report.
+        wan_tiers: Per-edge-server uplink report.
+        cloud_tier: Cloud compute report.
+        latency_percentiles: ``{50: ..., 95: ..., 99: ...}`` end-to-end
+            camera latency percentiles in seconds.
+        assignments: ``camera name -> edge index``.
+        outcomes: Per-camera timelines.
+    """
+
+    policy: PlacementPolicy
+    num_edge_servers: int
+    num_cameras: int
+    makespan_seconds: float
+    total_frames: int
+    frames_for_inference: int
+    camera_edge_bytes: int
+    edge_cloud_bytes: int
+    edge_busy_seconds: float
+    cloud_busy_seconds: float
+    wan_transfer_seconds: float
+    edge_tiers: List[TierReport]
+    wan_tiers: List[TierReport]
+    cloud_tier: TierReport
+    latency_percentiles: Dict[int, float]
+    assignments: Dict[str, int]
+    outcomes: List[JobOutcome] = field(default_factory=list)
+
+    @property
+    def aggregate_throughput_fps(self) -> float:
+        """Fleet-wide frames per second over the makespan."""
+        if self.makespan_seconds <= 0:
+            return float("inf")
+        return self.total_frames / self.makespan_seconds
+
+    @property
+    def mean_edge_utilisation(self) -> float:
+        """Average utilisation of the edge compute tier."""
+        if not self.edge_tiers:
+            return 0.0
+        return sum(tier.utilisation for tier in self.edge_tiers) / len(self.edge_tiers)
+
+    @property
+    def max_wan_queue_depth(self) -> int:
+        """Deepest uplink queue observed anywhere in the fleet."""
+        return max((tier.max_queue_depth for tier in self.wan_tiers), default=0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numeric view (used by sweeps and the example tables)."""
+        row: Dict[str, float] = {
+            "policy": self.policy.value,
+            "num_edge_servers": float(self.num_edge_servers),
+            "num_cameras": float(self.num_cameras),
+            "makespan_seconds": self.makespan_seconds,
+            "throughput_fps": self.aggregate_throughput_fps,
+            "total_frames": float(self.total_frames),
+            "frames_for_inference": float(self.frames_for_inference),
+            "camera_edge_gb": self.camera_edge_bytes / 1e9,
+            "edge_cloud_gb": self.edge_cloud_bytes / 1e9,
+            "edge_busy_seconds": self.edge_busy_seconds,
+            "cloud_busy_seconds": self.cloud_busy_seconds,
+            "wan_transfer_seconds": self.wan_transfer_seconds,
+            "mean_edge_utilisation": self.mean_edge_utilisation,
+            "cloud_utilisation": self.cloud_tier.utilisation,
+            "max_wan_queue_depth": float(self.max_wan_queue_depth),
+        }
+        for percentile, value in self.latency_percentiles.items():
+            row[f"latency_p{percentile}_seconds"] = value
+        return row
+
+
+class FleetOrchestrator:
+    """Shards camera jobs over edge servers and simulates the fleet.
+
+    Every job flows through four contended stages on one shared virtual
+    clock: camera->edge LAN transfer, edge compute, edge->cloud WAN
+    transfer, cloud compute.  Each edge server owns its LAN link, compute
+    station and WAN uplink; the cloud tier is a single station whose worker
+    count defaults to the number of edge servers (one NN serving slot per
+    uplink).
+
+    Args:
+        jobs: Planned camera jobs (camera names must be unique).
+        num_edge_servers: Edge servers to shard across.
+        config: Bandwidths and latencies (defaults to the paper's).
+        policy: Camera placement policy.
+        edge_workers: Parallel compute slots per edge server.
+        cloud_workers: Parallel compute slots in the cloud tier
+            (default: ``num_edge_servers``).
+        arrival_jitter_seconds: Upper bound of the per-camera start-time
+            jitter; offsets are drawn deterministically from ``seed``.
+        seed: Root seed for the arrival jitter (see :mod:`repro.rng`).
+    """
+
+    def __init__(self, jobs: Sequence[CameraJob], num_edge_servers: int = 1,
+                 config: Optional[SystemConfig] = None,
+                 policy: "PlacementPolicy | str" = PlacementPolicy.ROUND_ROBIN,
+                 edge_workers: int = 1, cloud_workers: Optional[int] = None,
+                 arrival_jitter_seconds: float = 0.0,
+                 seed: Optional[int] = None) -> None:
+        if not jobs:
+            raise ClusterError("the fleet needs at least one camera job")
+        names = [job.camera for job in jobs]
+        if len(set(names)) != len(names):
+            raise ClusterError(f"camera names must be unique, got {names}")
+        if num_edge_servers < 1:
+            raise ClusterError("num_edge_servers must be >= 1")
+        if edge_workers < 1:
+            raise ClusterError("edge_workers must be >= 1")
+        if arrival_jitter_seconds < 0:
+            raise ClusterError("arrival_jitter_seconds must be >= 0")
+        self.jobs = list(jobs)
+        self.num_edge_servers = int(num_edge_servers)
+        self.config = config or SystemConfig()
+        self.policy = PlacementPolicy.from_name(policy)
+        self.edge_workers = int(edge_workers)
+        self.cloud_workers = (int(cloud_workers) if cloud_workers is not None
+                              else self.num_edge_servers)
+        if self.cloud_workers < 1:
+            raise ClusterError("cloud_workers must be >= 1")
+        self.arrival_jitter_seconds = float(arrival_jitter_seconds)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def assign(self) -> Dict[str, int]:
+        """Shard the cameras over the edge servers under the policy."""
+        if self.policy is PlacementPolicy.ROUND_ROBIN:
+            return {job.camera: index % self.num_edge_servers
+                    for index, job in enumerate(self.jobs)}
+        estimate = self._make_load_estimator()
+        loads = [0.0] * self.num_edge_servers
+        assignments: Dict[str, int] = {}
+        for job in self.jobs:
+            target = min(range(self.num_edge_servers), key=lambda i: loads[i])
+            assignments[job.camera] = target
+            loads[target] += estimate(job)
+        return assignments
+
+    def _make_load_estimator(self):
+        """Estimator of the edge-local time a job occupies its server."""
+        if self.policy is PlacementPolicy.LEAST_LOADED:
+            return lambda job: job.edge_seconds
+        # Bandwidth-aware: the LAN ingest and the WAN upload occupy the
+        # server's links, so a camera with heavy transfers loads an edge even
+        # when its compute footprint is small.
+        lan = NetworkLink("estimate-lan", self.config.camera_edge_bandwidth_mbps,
+                          self.config.camera_edge_latency_ms)
+        wan = NetworkLink("estimate-wan", self.config.edge_cloud_bandwidth_mbps,
+                          self.config.edge_cloud_latency_ms)
+        return lambda job: (job.edge_seconds
+                            + lan.transfer_seconds(job.camera_edge_bytes)
+                            + wan.transfer_seconds(job.edge_cloud_bytes))
+
+    def _arrival_offsets(self) -> List[float]:
+        if self.arrival_jitter_seconds == 0:
+            return [0.0] * len(self.jobs)
+        rng = make_rng(self.seed, "fleet", "arrivals")
+        return [float(value) for value in
+                rng.uniform(0.0, self.arrival_jitter_seconds, size=len(self.jobs))]
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run(self) -> FleetReport:
+        """Simulate the fleet and return its report."""
+        scheduler = EventScheduler()
+        lan_links: List[ContendedLink] = []
+        edge_stations: List[ServiceStation] = []
+        wan_links: List[ContendedLink] = []
+        for index in range(self.num_edge_servers):
+            lan_links.append(ContendedLink(scheduler, NetworkLink(
+                name=f"camera-edge:{index}",
+                bandwidth_mbps=self.config.camera_edge_bandwidth_mbps,
+                latency_ms=self.config.camera_edge_latency_ms)))
+            edge_stations.append(ServiceStation(
+                scheduler, f"edge:{index}", capacity=self.edge_workers))
+            wan_links.append(ContendedLink(scheduler, NetworkLink(
+                name=f"edge-cloud:{index}",
+                bandwidth_mbps=self.config.edge_cloud_bandwidth_mbps,
+                latency_ms=self.config.edge_cloud_latency_ms)))
+        cloud_station = ServiceStation(scheduler, "cloud",
+                                       capacity=self.cloud_workers)
+
+        assignments = self.assign()
+        offsets = self._arrival_offsets()
+        outcomes: List[JobOutcome] = []
+        for job, offset in zip(self.jobs, offsets):
+            edge_index = assignments[job.camera]
+            outcome = JobOutcome(job=job, edge_index=edge_index,
+                                 start_seconds=offset)
+            outcomes.append(outcome)
+            self._submit_job(scheduler, outcome, lan_links[edge_index],
+                             edge_stations[edge_index], wan_links[edge_index],
+                             cloud_station)
+        scheduler.run()
+
+        makespan = max((outcome.end_seconds for outcome in outcomes),
+                       default=0.0)
+        latencies = sorted(outcome.latency_seconds for outcome in outcomes)
+        percentiles = {percentile: float(np.percentile(latencies, percentile))
+                       for percentile in LATENCY_PERCENTILES}
+        edge_tiers = [self._tier(station.stats, station.capacity, makespan)
+                      for station in edge_stations]
+        wan_tiers = [self._tier(link.stats, 1, makespan) for link in wan_links]
+        cloud_tier = self._tier(cloud_station.stats, cloud_station.capacity,
+                                makespan)
+        return FleetReport(
+            policy=self.policy,
+            num_edge_servers=self.num_edge_servers,
+            num_cameras=len(self.jobs),
+            makespan_seconds=makespan,
+            total_frames=sum(job.num_frames for job in self.jobs),
+            frames_for_inference=sum(job.frames_for_inference
+                                     for job in self.jobs),
+            camera_edge_bytes=sum(link.link.total_bytes for link in lan_links),
+            edge_cloud_bytes=sum(link.link.total_bytes for link in wan_links),
+            edge_busy_seconds=sum(tier.busy_seconds for tier in edge_tiers),
+            cloud_busy_seconds=cloud_tier.busy_seconds,
+            wan_transfer_seconds=sum(link.link.total_seconds
+                                     for link in wan_links),
+            edge_tiers=edge_tiers,
+            wan_tiers=wan_tiers,
+            cloud_tier=cloud_tier,
+            latency_percentiles=percentiles,
+            assignments=assignments,
+            outcomes=outcomes,
+        )
+
+    def _submit_job(self, scheduler: EventScheduler, outcome: JobOutcome,
+                    lan: ContendedLink, edge: ServiceStation,
+                    wan: ContendedLink, cloud: ServiceStation) -> None:
+        job = outcome.job
+
+        def _finish(_: object) -> None:
+            outcome.end_seconds = scheduler.now
+
+        def _enter_cloud(_: object) -> None:
+            cloud.submit(job.cloud_seconds, on_complete=_finish)
+
+        def _enter_wan(_: object) -> None:
+            wan.submit(job.edge_cloud_bytes,
+                       description=job.transfer_description or job.camera,
+                       on_complete=_enter_cloud)
+
+        def _enter_edge(_: object) -> None:
+            edge.submit(job.edge_seconds, on_complete=_enter_wan)
+
+        def _ingest() -> None:
+            lan.submit(job.camera_edge_bytes,
+                       description=f"ingest:{job.camera}",
+                       on_complete=_enter_edge)
+
+        scheduler.schedule_at(outcome.start_seconds, _ingest)
+
+    @staticmethod
+    def _tier(stats, capacity: int, makespan: float) -> TierReport:
+        utilisation = (stats.busy_seconds / (capacity * makespan)
+                       if makespan > 0 else 0.0)
+        return TierReport(busy_seconds=stats.busy_seconds,
+                          utilisation=utilisation,
+                          max_queue_depth=stats.max_queue_depth,
+                          completed=stats.completed)
+
+
+def sweep_edge_counts(jobs: Sequence[CameraJob],
+                      edge_counts: Sequence[int],
+                      config: Optional[SystemConfig] = None,
+                      policy: "PlacementPolicy | str" = PlacementPolicy.LEAST_LOADED,
+                      arrival_jitter_seconds: float = 0.0,
+                      seed: Optional[int] = None) -> Dict[int, FleetReport]:
+    """Run the same fleet over several edge-server counts.
+
+    Returns:
+        ``{num_edge_servers: report}`` in ascending edge-count order.
+    """
+    reports: Dict[int, FleetReport] = {}
+    for count in sorted(set(int(count) for count in edge_counts)):
+        orchestrator = FleetOrchestrator(
+            jobs, num_edge_servers=count, config=config, policy=policy,
+            arrival_jitter_seconds=arrival_jitter_seconds, seed=seed)
+        reports[count] = orchestrator.run()
+    return reports

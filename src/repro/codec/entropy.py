@@ -72,8 +72,14 @@ def _to_zigzag_rows(quantised: np.ndarray) -> np.ndarray:
 
 
 def _level_bytes(levels: np.ndarray) -> np.ndarray:
-    """Number of bytes (1 or 2) needed to store each level."""
-    return np.where(np.abs(levels) < 128, 1, 2)
+    """Number of bytes (1 or 2) needed to store each level.
+
+    Levels are stored as signed big-endian integers, so the single-byte
+    range is the asymmetric two's-complement interval [-128, 127] — using
+    ``abs(level) < 128`` here would overestimate a level of exactly -128 by
+    one byte and disagree with :func:`encode_blocks`.
+    """
+    return np.where((levels >= -128) & (levels <= 127), 1, 2)
 
 
 def encoded_size_bytes(quantised: np.ndarray) -> int:

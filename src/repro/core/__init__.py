@@ -11,7 +11,7 @@ from .metrics import (DetectionScore, detection_latencies, evaluate_sampling,
                       propagate_labels, propagation_accuracy, sampling_fraction,
                       summarize_latencies)
 from .pipeline import (DeploymentReport, EndToEndSimulation, VideoWorkload,
-                       build_workload)
+                       build_workload, plan_camera_job)
 from .sieve import Sieve, VideoAnalysisResult
 from .tuner import (ConfigurationResult, ParameterLookupTable, SemanticEncoderTuner,
                     TuningGrid, TuningResult, DEFAULT_GOP_GRID,
@@ -27,6 +27,7 @@ __all__ = [
     "event_start_accuracy", "f1_score", "filtering_rate", "propagate_labels",
     "propagation_accuracy", "sampling_fraction", "summarize_latencies",
     "DeploymentReport", "EndToEndSimulation", "VideoWorkload", "build_workload",
+    "plan_camera_job",
     "Sieve", "VideoAnalysisResult",
     "ConfigurationResult", "ParameterLookupTable", "SemanticEncoderTuner",
     "TuningGrid", "TuningResult", "DEFAULT_GOP_GRID", "DEFAULT_SCENECUT_GRID",

@@ -15,6 +15,16 @@ The simulation is split into two stages so the expensive part runs once:
 * :class:`EndToEndSimulation` replays any :class:`DeploymentMode` over a set
   of workloads using the calibrated cost model and the simulated links, and
   reports throughput, data transfer and (when ground truth exists) accuracy.
+
+Since the fleet-simulator refactor the replay itself runs on the
+discrete-event scheduler: every workload becomes a :class:`CameraJob`
+(planned by :func:`plan_camera_job`) executed by a
+:class:`~repro.cluster.fleet.FleetOrchestrator`.  With the default single
+edge server the reported totals reproduce the seed's serial accounting (the
+legacy path is kept as :meth:`EndToEndSimulation.run_serial` and pinned by a
+regression test); with ``num_edge_servers > 1`` the same workloads shard
+across a fleet and the report additionally carries per-tier utilisation,
+queue depths and latency percentiles in ``DeploymentReport.fleet``.
 """
 
 from __future__ import annotations
@@ -25,6 +35,9 @@ from typing import Dict, List, Optional, Sequence
 from ..cluster.cloud import CloudServer
 from ..cluster.costmodel import CostModel
 from ..cluster.edge import EdgeServer
+from ..cluster.fleet import (CameraJob, FleetOrchestrator, FleetReport,
+                             PlacementPolicy)
+from ..cluster.node import default_cloud_node, default_edge_node
 from ..config import SystemConfig
 from ..codec.encoder import VideoEncoder
 from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters, KeyframePlacer
@@ -120,6 +133,8 @@ class DeploymentReport:
         accuracy: Mean per-frame label accuracy over the labelled videos
             (``None`` when no ground truth was available).
         per_video: Per-video breakdown of the same quantities.
+        fleet: The underlying fleet-simulation report (utilisation, queue
+            depths, latency percentiles); ``None`` on the legacy serial path.
     """
 
     mode: DeploymentMode
@@ -132,6 +147,7 @@ class DeploymentReport:
     frames_for_inference: int = 0
     accuracy: Optional[float] = None
     per_video: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    fleet: Optional[FleetReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -265,27 +281,203 @@ def _mse_samples_for_f1(scores: Sequence[float], timeline: EventTimeline,
     return best_samples
 
 
+def plan_camera_job(workload: VideoWorkload, mode: DeploymentMode,
+                    cost_model: Optional[CostModel] = None,
+                    camera: Optional[str] = None,
+                    edge_speed_factor: Optional[float] = None,
+                    cloud_speed_factor: Optional[float] = None) -> CameraJob:
+    """Plan one workload's per-tier costs under a deployment mode.
+
+    The arithmetic is charge-for-charge identical to the seed simulation's
+    serial replay (:meth:`EndToEndSimulation._run_one`); the result is a
+    side-effect-free :class:`~repro.cluster.fleet.CameraJob` that the fleet
+    scheduler can place on any edge server.
+
+    Args:
+        workload: The prepared video workload.
+        mode: Deployment mode to plan for.
+        cost_model: Calibrated cost model (defaults to the paper's).
+        camera: Camera name (defaults to the workload name).
+        edge_speed_factor: Edge CPU speed (defaults to the paper's edge
+            desktop, 1.0).
+        cloud_speed_factor: Cloud CPU speed (defaults to the paper's cloud
+            server, 2.2).
+
+    Returns:
+        The planned camera job.
+
+    Raises:
+        PipelineError: If ``mode`` is not a known deployment mode.
+    """
+    cost_model = cost_model or CostModel()
+    edge_speed = (edge_speed_factor if edge_speed_factor is not None
+                  else default_edge_node().speed_factor)
+    cloud_speed = (cloud_speed_factor if cloud_speed_factor is not None
+                   else default_cloud_node().speed_factor)
+    samples = workload.samples_for(mode)
+    num_samples = len(samples)
+    resolution = workload.nominal_resolution
+    num_frames = workload.num_frames
+    camera_edge_bytes = (workload.semantic_bytes if mode.uses_semantic_encoding
+                         else workload.default_bytes)
+    edge_seconds = 0.0
+    cloud_seconds = 0.0
+
+    if mode is DeploymentMode.IFRAME_EDGE_CLOUD_NN:
+        edge_seconds += cost_model.seek_seconds(num_frames, resolution, edge_speed)
+        edge_seconds += cost_model.jpeg_decode_seconds(num_samples, resolution,
+                                                       edge_speed)
+        edge_seconds += cost_model.resize_seconds(num_samples, edge_speed)
+        edge_cloud_bytes = num_samples * workload.resized_frame_bytes
+        description = f"iframes:{workload.name}"
+        cloud_seconds += cost_model.nn_seconds(num_samples, device="cloud")
+    elif mode is DeploymentMode.IFRAME_CLOUD_CLOUD_NN:
+        edge_cloud_bytes = workload.semantic_bytes
+        description = f"full-video:{workload.name}"
+        cloud_seconds += cost_model.seek_seconds(num_frames, resolution,
+                                                 cloud_speed)
+        cloud_seconds += cost_model.jpeg_decode_seconds(num_samples, resolution,
+                                                        cloud_speed)
+        cloud_seconds += cost_model.resize_seconds(num_samples, cloud_speed)
+        cloud_seconds += cost_model.nn_seconds(num_samples, device="cloud")
+    elif mode is DeploymentMode.IFRAME_EDGE_EDGE_NN:
+        edge_seconds += cost_model.seek_seconds(num_frames, resolution, edge_speed)
+        edge_seconds += cost_model.jpeg_decode_seconds(num_samples, resolution,
+                                                       edge_speed)
+        edge_seconds += cost_model.resize_seconds(num_samples, edge_speed)
+        edge_seconds += cost_model.nn_seconds(num_samples, device="edge")
+        # Only the detection results travel to the cloud.
+        edge_cloud_bytes = num_samples * 128
+        description = f"results:{workload.name}"
+    elif mode is DeploymentMode.UNIFORM_EDGE_CLOUD_NN:
+        edge_seconds += cost_model.decode_seconds(num_frames, resolution,
+                                                  edge_speed)
+        edge_seconds += cost_model.resize_seconds(num_samples, edge_speed)
+        edge_cloud_bytes = num_samples * workload.resized_frame_bytes
+        description = f"uniform:{workload.name}"
+        cloud_seconds += cost_model.nn_seconds(num_samples, device="cloud")
+    elif mode is DeploymentMode.MSE_EDGE_CLOUD_NN:
+        edge_seconds += cost_model.decode_seconds(num_frames, resolution,
+                                                  edge_speed)
+        edge_seconds += cost_model.mse_seconds(num_frames, resolution, edge_speed)
+        edge_seconds += cost_model.resize_seconds(num_samples, edge_speed)
+        edge_cloud_bytes = num_samples * workload.resized_frame_bytes
+        description = f"mse:{workload.name}"
+        cloud_seconds += cost_model.nn_seconds(num_samples, device="cloud")
+    else:  # pragma: no cover - exhaustive over the enum.
+        raise PipelineError(f"unhandled deployment mode {mode!r}")
+
+    accuracy = float("nan")
+    if workload.timeline is not None:
+        accuracy = evaluate_sampling(workload.timeline, samples).accuracy
+    return CameraJob(
+        camera=camera or workload.name,
+        video=workload.name,
+        num_frames=num_frames,
+        frames_for_inference=num_samples,
+        edge_seconds=edge_seconds,
+        cloud_seconds=cloud_seconds,
+        camera_edge_bytes=int(camera_edge_bytes),
+        edge_cloud_bytes=int(edge_cloud_bytes),
+        transfer_description=description,
+        accuracy=accuracy,
+    )
+
+
 class EndToEndSimulation:
     """Replays the five deployment modes over a set of prepared workloads.
+
+    The replay runs on the discrete-event fleet scheduler: each workload is
+    planned into a :class:`~repro.cluster.fleet.CameraJob` and executed by a
+    :class:`~repro.cluster.fleet.FleetOrchestrator`.  With the default
+    single edge server the reported totals match the seed's serial
+    accounting to within floating-point reassociation (~1e-12 relative); the
+    exact legacy path remains available as :meth:`run_serial`.
 
     Args:
         workloads: Prepared video workloads.
         config: System configuration (bandwidths, calibration).
+        num_edge_servers: Edge servers to shard the cameras across.
+        placement: Camera placement policy for multi-edge fleets.
     """
 
     def __init__(self, workloads: Sequence[VideoWorkload],
-                 config: Optional[SystemConfig] = None) -> None:
+                 config: Optional[SystemConfig] = None,
+                 num_edge_servers: int = 1,
+                 placement: "PlacementPolicy | str" = PlacementPolicy.ROUND_ROBIN
+                 ) -> None:
         if not workloads:
             raise PipelineError("the simulation needs at least one workload")
+        if num_edge_servers < 1:
+            raise PipelineError("num_edge_servers must be >= 1")
         self.workloads = list(workloads)
         self.config = config or SystemConfig()
         self.cost_model = CostModel(self.config.hardware)
+        self.num_edge_servers = int(num_edge_servers)
+        self.placement = PlacementPolicy.from_name(placement)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan_jobs(self, mode: DeploymentMode) -> List[CameraJob]:
+        """Plan one camera job per workload for ``mode``."""
+        return [
+            plan_camera_job(workload, mode, self.cost_model,
+                            camera=f"cam-{index:03d}:{workload.name}")
+            for index, workload in enumerate(self.workloads)
+        ]
 
     # ------------------------------------------------------------------ #
     # Single-mode simulation
     # ------------------------------------------------------------------ #
     def run(self, mode: DeploymentMode) -> DeploymentReport:
-        """Simulate one deployment mode over every workload."""
+        """Simulate one deployment mode over every workload.
+
+        The jobs execute on the shared virtual clock; the report's totals
+        come from the fleet's per-tier accounting and its ``fleet`` field
+        carries utilisation, queue depths and latency percentiles.
+        """
+        jobs = self.plan_jobs(mode)
+        orchestrator = FleetOrchestrator(
+            jobs, num_edge_servers=self.num_edge_servers, config=self.config,
+            policy=self.placement)
+        fleet = orchestrator.run()
+        report = DeploymentReport(mode=mode, fleet=fleet)
+        accuracies: List[float] = []
+        wan = NetworkLink("wan-formula", self.config.edge_cloud_bandwidth_mbps,
+                          self.config.edge_cloud_latency_ms)
+        for workload, job in zip(self.workloads, jobs):
+            report.per_video[workload.name] = {
+                "frames": float(job.num_frames),
+                "frames_for_inference": float(job.frames_for_inference),
+                "edge_seconds": job.edge_seconds,
+                "cloud_seconds": job.cloud_seconds,
+                "transfer_seconds": wan.transfer_seconds(job.edge_cloud_bytes),
+                "camera_edge_bytes": float(job.camera_edge_bytes),
+                "edge_cloud_bytes": float(job.edge_cloud_bytes),
+                "accuracy": job.accuracy,
+            }
+            report.total_frames += job.num_frames
+            report.frames_for_inference += job.frames_for_inference
+            report.camera_edge_bytes += job.camera_edge_bytes
+            report.edge_cloud_bytes += job.edge_cloud_bytes
+            if workload.timeline is not None:
+                accuracies.append(job.accuracy)
+        report.edge_seconds = fleet.edge_busy_seconds
+        report.cloud_seconds = fleet.cloud_busy_seconds
+        report.transfer_seconds = fleet.wan_transfer_seconds
+        report.accuracy = (sum(accuracies) / len(accuracies)) if accuracies else None
+        _LOGGER.debug("%s: %.1f fps, %.2f GB edge->cloud", mode.label,
+                      report.throughput_fps, report.edge_cloud_bytes / 1e9)
+        return report
+
+    def run_serial(self, mode: DeploymentMode) -> DeploymentReport:
+        """The seed's serial replay (kept as the regression reference).
+
+        Charges every stage to one edge server, one cloud server and one
+        uncontended WAN link in workload order, exactly as the pre-scheduler
+        implementation did.
+        """
         report = DeploymentReport(mode=mode)
         edge = EdgeServer(cost_model=self.cost_model)
         cloud = CloudServer(cost_model=self.cost_model)
@@ -401,6 +593,8 @@ class EndToEndSimulation:
             if not 1 <= count <= len(self.workloads):
                 raise PipelineError(
                     f"video count {count} out of range [1, {len(self.workloads)}]")
-            subset = EndToEndSimulation(self.workloads[:count], self.config)
+            subset = EndToEndSimulation(self.workloads[:count], self.config,
+                                        num_edge_servers=self.num_edge_servers,
+                                        placement=self.placement)
             reports[count] = subset.run(mode)
         return reports

@@ -7,6 +7,8 @@ from .engine import DataflowEngine
 from .operator import (FilterOperator, FunctionOperator, Operator, OperatorResult,
                        SinkOperator, SourceOperator)
 from .orchestrator import Orchestrator, StageResult
+from .scheduler import (BatchingPolicy, EventScheduler, ScheduledEngine,
+                        ServiceStation, StationStats, run_engine, run_engines)
 
 __all__ = [
     "DecodeKeyframeOperator", "DetectObjectsOperator", "FrameTask",
@@ -15,4 +17,6 @@ __all__ = [
     "FilterOperator", "FunctionOperator", "Operator", "OperatorResult",
     "SinkOperator", "SourceOperator",
     "Orchestrator", "StageResult",
+    "BatchingPolicy", "EventScheduler", "ScheduledEngine", "ServiceStation",
+    "StationStats", "run_engine", "run_engines",
 ]

@@ -52,7 +52,13 @@ class DataflowEngine:
                 f"connection {upstream!r} -> {downstream!r} already exists")
         self._edges[upstream].append(downstream)
         self._reverse_edges[downstream].append(upstream)
-        self._check_acyclic()
+        try:
+            self._check_acyclic()
+        except DataflowError:
+            # Roll the edge back so a rejected connect leaves the graph usable.
+            self._edges[upstream].remove(downstream)
+            self._reverse_edges[downstream].remove(upstream)
+            raise
 
     def operator(self, name: str) -> Operator:
         """Look up a registered operator by name."""
@@ -66,6 +72,32 @@ class DataflowEngine:
     def operators(self) -> List[Operator]:
         """All registered operators."""
         return list(self._operators.values())
+
+    def has_operator(self, name: str) -> bool:
+        """Whether an operator named ``name`` is registered."""
+        return name in self._operators
+
+    def upstreams(self, name: str) -> List[str]:
+        """Names of the operators feeding into ``name``."""
+        self.operator(name)
+        return list(self._reverse_edges.get(name, []))
+
+    def downstreams(self, name: str) -> List[str]:
+        """Names of the operators ``name`` feeds into."""
+        self.operator(name)
+        return list(self._edges.get(name, []))
+
+    def topological_order(self, strict: bool = False) -> List[str]:
+        """Operator names in a topological order of the graph.
+
+        Args:
+            strict: Raise :class:`~repro.errors.DataflowError` when the graph
+                contains a cycle (the returned order would be partial).
+        """
+        order = self._topological_order()
+        if strict and len(order) != len(self._operators):
+            raise DataflowError(f"engine {self.name!r} contains a cycle")
+        return order
 
     def _check_acyclic(self) -> None:
         order = self._topological_order()
@@ -122,6 +154,9 @@ class DataflowEngine:
             for name, items in external_inputs.items():
                 if name not in self._operators:
                     raise DataflowError(f"unknown external input target {name!r}")
+                if isinstance(self._operators[name], SourceOperator):
+                    raise DataflowError(
+                        f"cannot feed external inputs into source operator {name!r}")
                 pending[name].extend(items)
         # Drain the sources first.
         for name in order:

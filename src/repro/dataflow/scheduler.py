@@ -1,0 +1,470 @@
+"""Discrete-event fleet scheduler.
+
+The seed engine (:class:`~repro.dataflow.engine.DataflowEngine`) drains one
+DAG to completion on one node, so its busy-time totals cannot capture
+contention: two engines, or two operators of one engine, never compete for
+time.  This module adds the missing substrate — a shared virtual-clock
+scheduler in which *everything that takes simulated time is an event*:
+
+* :class:`EventScheduler` — a heap-ordered virtual clock.  Events scheduled
+  for the same instant fire in submission order, which makes every run
+  bit-for-bit deterministic (see :mod:`repro.rng` for the seeding contract).
+* :class:`ServiceStation` — a FIFO queue served by a fixed number of
+  simulated workers.  Jobs wait, occupy a worker for their service time, then
+  fire a completion callback.  The station records busy time, queue-depth
+  peaks and completion counts, which is where per-tier utilisation and queue
+  depth reporting come from.
+* :class:`ScheduledEngine` — runs a :class:`DataflowEngine` *through* the
+  scheduler: each operator becomes a single-worker station whose service
+  times are the operator's reported costs, so multiple engines sharing one
+  :class:`EventScheduler` interleave in virtual time exactly as NiFi
+  processors sharing a host would.  Operator batching is configurable via
+  :class:`BatchingPolicy`.
+
+Single-engine equivalence: for any DAG, running one engine through
+:func:`run_engine` charges the same operator costs and produces the same
+sink multisets as ``engine.run()``; the run-to-completion path is simply the
+degenerate schedule in which nothing ever waits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Deque, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from ..errors import DataflowError
+from .engine import DataflowEngine
+from .operator import Operator, OperatorResult, SinkOperator, SourceOperator
+
+Action = Callable[[], None]
+
+
+class EventScheduler:
+    """A shared virtual clock ordering simulated events.
+
+    Events are ``(time, action)`` pairs kept in a heap; ties in time break by
+    submission order, so runs are deterministic regardless of callback
+    content.  All components of one simulation (engines, compute stations,
+    links) must share a single scheduler — that is what makes their service
+    times contend instead of merely accumulating.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._heap)
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Schedule ``action`` to fire at absolute virtual ``time``."""
+        if time < self._now:
+            raise DataflowError(
+                f"cannot schedule at {time:.6f}s, clock is at {self._now:.6f}s")
+        heapq.heappush(self._heap, (float(time), self._sequence, action))
+        self._sequence += 1
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise DataflowError(f"event delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Fire the next event; returns ``False`` when none remain."""
+        if not self._heap:
+            return False
+        time, _, action = heapq.heappop(self._heap)
+        self._now = time
+        self.events_processed += 1
+        action()
+        return True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Fire events until the heap is empty (or ``until`` is reached).
+
+        Returns:
+            The number of events fired by this call.
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return fired
+
+
+@dataclass
+class StationStats:
+    """Accounting of one service station.
+
+    Attributes:
+        busy_seconds: Total service time consumed across all workers.
+        completed: Number of jobs (or batches) fully served.
+        arrivals: Number of jobs submitted.
+        max_queue_depth: Peak number of jobs waiting (excluding in service).
+    """
+
+    busy_seconds: float = 0.0
+    completed: int = 0
+    arrivals: int = 0
+    max_queue_depth: int = 0
+
+
+@dataclass
+class _StationJob:
+    service_seconds: float
+    on_complete: Optional[Callable[[Any], None]]
+    payload: Any
+
+
+class ServiceStation:
+    """A FIFO queue served by ``capacity`` simulated workers.
+
+    Args:
+        scheduler: The shared event scheduler.
+        name: Station name (used in reports).
+        capacity: Number of jobs that can be in service simultaneously.
+    """
+
+    def __init__(self, scheduler: EventScheduler, name: str,
+                 capacity: int = 1) -> None:
+        if capacity < 1:
+            raise DataflowError(f"station capacity must be >= 1, got {capacity}")
+        self.scheduler = scheduler
+        self.name = name
+        self.capacity = capacity
+        self.stats = StationStats()
+        self._queue: Deque[_StationJob] = deque()
+        self._in_service = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (excluding those in service)."""
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        """Jobs currently occupying a worker."""
+        return self._in_service
+
+    def submit(self, service_seconds: float,
+               on_complete: Optional[Callable[[Any], None]] = None,
+               payload: Any = None) -> None:
+        """Enqueue a job taking ``service_seconds`` of worker time."""
+        if service_seconds < 0:
+            raise DataflowError(
+                f"service time must be >= 0, got {service_seconds}")
+        self.stats.arrivals += 1
+        self._queue.append(_StationJob(float(service_seconds), on_complete, payload))
+        self._try_start()
+
+    def _try_start(self) -> None:
+        while self._queue and self._in_service < self.capacity:
+            job = self._queue.popleft()
+            self._in_service += 1
+            self.stats.busy_seconds += job.service_seconds
+            self.scheduler.schedule(job.service_seconds,
+                                    lambda job=job: self._finish(job))
+        # Only jobs still waiting after dispatch count toward the peak depth.
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth,
+                                         len(self._queue))
+
+    def _finish(self, job: _StationJob) -> None:
+        self._in_service -= 1
+        self.stats.completed += 1
+        if job.on_complete is not None:
+            job.on_complete(job.payload)
+        self._try_start()
+
+    def utilisation(self, makespan_seconds: float) -> float:
+        """Fraction of worker time spent busy over ``makespan_seconds``."""
+        if makespan_seconds <= 0:
+            return 0.0
+        return self.stats.busy_seconds / (self.capacity * makespan_seconds)
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """How many queued items an operator may serve in one event.
+
+    A batch of ``k`` items is processed back to back in a single service
+    event whose duration is the sum of the per-item costs — total busy time
+    is unchanged, but the event count (and, under contention, the queueing
+    pattern) shrinks, which is exactly the trade NiFi's *run duration*
+    setting makes.
+
+    Attributes:
+        default_batch: Batch limit for operators without an override.
+        per_operator: Operator-name -> batch-limit overrides.
+    """
+
+    default_batch: int = 1
+    per_operator: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default_batch < 1:
+            raise DataflowError(
+                f"default_batch must be >= 1, got {self.default_batch}")
+        for name, batch in self.per_operator.items():
+            if batch < 1:
+                raise DataflowError(
+                    f"batch for operator {name!r} must be >= 1, got {batch}")
+
+    def batch_for(self, operator_name: str) -> int:
+        """Batch limit applying to ``operator_name``."""
+        return int(self.per_operator.get(operator_name, self.default_batch))
+
+
+class _OperatorState:
+    __slots__ = ("queue", "busy", "closed", "open_upstreams", "flushed")
+
+    def __init__(self, open_upstreams: int) -> None:
+        self.queue: Deque[Any] = deque()
+        self.busy = False
+        self.closed = False
+        self.flushed = False
+        self.open_upstreams = open_upstreams
+
+
+class ScheduledEngine:
+    """Executes one :class:`DataflowEngine` on a shared virtual clock.
+
+    Every operator becomes a single-worker station: items wait in the
+    operator's FIFO queue, are processed (in batches of up to the batching
+    policy's limit) during a service event lasting the reported operator
+    cost, and are delivered downstream when the event completes.  Several
+    ``ScheduledEngine`` instances sharing one :class:`EventScheduler`
+    interleave in virtual time.
+
+    Args:
+        scheduler: Shared event scheduler.
+        engine: The engine to execute.  Its operators' statistics and
+            ``busy_seconds`` are updated exactly as ``engine.run()`` would.
+        batching: Operator batching policy (default: one item per event).
+        start_time: Virtual time at which the engine's sources fire.
+        external_inputs: Items fed into named non-source operators at start,
+            mirroring ``engine.run(external_inputs=...)``.
+    """
+
+    def __init__(self, scheduler: EventScheduler, engine: DataflowEngine,
+                 batching: Optional[BatchingPolicy] = None,
+                 start_time: float = 0.0,
+                 external_inputs: Optional[Dict[str, List[Any]]] = None) -> None:
+        if not engine.operators:
+            raise DataflowError(f"engine {engine.name!r} has no operators")
+        self.scheduler = scheduler
+        self.engine = engine
+        self.batching = batching or BatchingPolicy()
+        self.start_time = float(start_time)
+        self.finish_time: Optional[float] = None
+        self.sink_arrival_times: Dict[str, List[float]] = {}
+        self.operator_stats: Dict[str, StationStats] = {}
+        self._external_inputs = dict(external_inputs or {})
+        self._states: Dict[str, _OperatorState] = {}
+        self._open_operators = 0
+        self._started = False
+        # Validates the graph (raises on cycles) before any event fires.
+        engine.topological_order(strict=True)
+        for name in self._external_inputs:
+            if not engine.has_operator(name):
+                raise DataflowError(f"unknown external input target {name!r}")
+            if isinstance(engine.operator(name), SourceOperator):
+                raise DataflowError(
+                    f"cannot feed external inputs into source operator {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ScheduledEngine":
+        """Schedule the engine's bootstrap at ``start_time``."""
+        if self._started:
+            raise DataflowError(
+                f"engine {self.engine.name!r} is already scheduled")
+        self._started = True
+        for operator in self.engine.operators:
+            upstreams = self.engine.upstreams(operator.name)
+            self._states[operator.name] = _OperatorState(len(upstreams))
+            self.operator_stats[operator.name] = StationStats()
+            if isinstance(operator, SinkOperator):
+                self.sink_arrival_times[operator.name] = []
+        self._open_operators = len(self._states)
+        self.scheduler.schedule_at(self.start_time, self._bootstrap)
+        return self
+
+    def _bootstrap(self) -> None:
+        for name, items in self._external_inputs.items():
+            state = self._states[name]
+            state.queue.extend(items)
+            self.operator_stats[name].arrivals += len(items)
+        for operator in self.engine.operators:
+            if isinstance(operator, SourceOperator):
+                self._start_source(operator)
+        for operator in self.engine.operators:
+            if not isinstance(operator, SourceOperator):
+                self._try_start(operator.name)
+                self._maybe_close(operator.name)
+
+    def _start_source(self, operator: SourceOperator) -> None:
+        state = self._states[operator.name]
+        state.busy = True
+        result = operator.drain()
+        self._charge(operator.name, result.cost_seconds)
+        self.scheduler.schedule(
+            result.cost_seconds,
+            lambda: self._complete(operator.name, result.outputs))
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _charge(self, name: str, cost_seconds: float) -> None:
+        self.engine.busy_seconds += cost_seconds
+        self.operator_stats[name].busy_seconds += cost_seconds
+
+    def _enqueue(self, name: str, items: Sequence[Any]) -> None:
+        state = self._states[name]
+        if state.closed:  # pragma: no cover - defensive; DAG order prevents it.
+            raise DataflowError(
+                f"operator {name!r} received items after closing")
+        state.queue.extend(items)
+        self.operator_stats[name].arrivals += len(items)
+        self._try_start(name)
+
+    def _try_start(self, name: str) -> None:
+        state = self._states[name]
+        stats = self.operator_stats[name]
+        if not state.busy and not state.closed and state.queue:
+            operator = self.engine.operator(name)
+            batch = self.batching.batch_for(name)
+            outputs: List[Any] = []
+            cost = 0.0
+            served = 0
+            while state.queue and served < batch:
+                item = state.queue.popleft()
+                result = operator.process(item)
+                outputs.extend(result.outputs)
+                cost += result.cost_seconds
+                served += 1
+            state.busy = True
+            self._charge(name, cost)
+            if isinstance(operator, SinkOperator):
+                arrival = self.scheduler.now + cost
+                self.sink_arrival_times[name].extend([arrival] * served)
+            self.scheduler.schedule(cost, lambda: self._complete(name, outputs))
+        # Only items still waiting after dispatch count toward the peak depth.
+        stats.max_queue_depth = max(stats.max_queue_depth, len(state.queue))
+
+    def _complete(self, name: str, outputs: Sequence[Any]) -> None:
+        state = self._states[name]
+        state.busy = False
+        self.operator_stats[name].completed += 1
+        for downstream in self.engine.downstreams(name):
+            self._enqueue(downstream, outputs)
+        self._try_start(name)
+        self._maybe_close(name)
+
+    def _maybe_close(self, name: str) -> None:
+        state = self._states[name]
+        if state.closed or state.busy or state.queue or state.open_upstreams:
+            return
+        operator = self.engine.operator(name)
+        if not state.flushed and not isinstance(operator, SourceOperator):
+            state.flushed = True
+            flush = operator.on_finish()
+            if flush.outputs or flush.cost_seconds:
+                state.busy = True
+                self._charge(name, flush.cost_seconds)
+                self.scheduler.schedule(
+                    flush.cost_seconds,
+                    lambda: self._complete(name, flush.outputs))
+                return
+        state.closed = True
+        self._open_operators -= 1
+        if self._open_operators == 0:
+            self.finish_time = self.scheduler.now
+        for downstream in self.engine.downstreams(name):
+            downstream_state = self._states[downstream]
+            downstream_state.open_upstreams -= 1
+            self._maybe_close(downstream)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        """Whether every operator has drained and closed."""
+        return self._open_operators == 0 and self._started
+
+    def sink_items(self) -> Dict[str, List[Any]]:
+        """Items collected by each sink, like ``engine.run()``'s return."""
+        return {operator.name: list(operator.items)
+                for operator in self.engine.operators
+                if isinstance(operator, SinkOperator)}
+
+    def latencies(self) -> List[float]:
+        """Per-item sink-arrival delays relative to the engine start."""
+        delays: List[float] = []
+        for arrivals in self.sink_arrival_times.values():
+            delays.extend(arrival - self.start_time for arrival in arrivals)
+        return sorted(delays)
+
+
+def run_engine(engine: DataflowEngine,
+               external_inputs: Optional[Dict[str, List[Any]]] = None,
+               batching: Optional[BatchingPolicy] = None
+               ) -> Dict[str, List[Any]]:
+    """Run one engine through a fresh scheduler (single-engine mode).
+
+    Drop-in equivalent of ``engine.run(external_inputs)``: same operator
+    charges, same ``engine.busy_seconds``, same sink contents.
+    """
+    scheduler = EventScheduler()
+    scheduled = ScheduledEngine(scheduler, engine, batching=batching,
+                                external_inputs=external_inputs).start()
+    scheduler.run()
+    if not scheduled.finished:  # pragma: no cover - DAG execution always drains.
+        raise DataflowError(f"engine {engine.name!r} did not drain")
+    return scheduled.sink_items()
+
+
+def run_engines(engines: Sequence[DataflowEngine],
+                batching: Optional[BatchingPolicy] = None,
+                external_inputs: Optional[Dict[str, Dict[str, List[Any]]]] = None
+                ) -> Dict[str, Dict[str, List[Any]]]:
+    """Interleave several engines on one shared virtual clock.
+
+    Args:
+        engines: Engines to execute concurrently (names must be unique).
+        batching: Batching policy applied to every engine.
+        external_inputs: Optional ``{engine name: {operator: items}}``.
+
+    Returns:
+        ``{engine name: {sink name: items}}``.
+    """
+    names = [engine.name for engine in engines]
+    if len(set(names)) != len(names):
+        raise DataflowError(f"engine names must be unique, got {names}")
+    scheduler = EventScheduler()
+    scheduled = [
+        ScheduledEngine(scheduler, engine, batching=batching,
+                        external_inputs=(external_inputs or {}).get(engine.name))
+        .start()
+        for engine in engines
+    ]
+    scheduler.run()
+    return {run.engine.name: run.sink_items() for run in scheduled}

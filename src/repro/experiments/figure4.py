@@ -46,9 +46,17 @@ def run(workloads: Optional[List[VideoWorkload]] = None,
         dataset_names: Sequence[str] = ALL_DATASETS,
         video_counts: Sequence[int] = DEFAULT_VIDEO_COUNTS,
         modes: Sequence[DeploymentMode] = ALL_DEPLOYMENT_MODES,
-        system_config: Optional[SystemConfig] = None
+        system_config: Optional[SystemConfig] = None,
+        num_edge_servers: int = 1,
+        placement: str = "round-robin"
         ) -> Dict[DeploymentMode, Dict[int, DeploymentReport]]:
-    """Run the Figure 4 sweep.
+    """Run the Figure 4 sweep on the discrete-event fleet scheduler.
+
+    The default single edge server reproduces the paper's testbed; larger
+    ``num_edge_servers`` shard the corpus across a simulated fleet (the
+    busy-time totals, and hence this figure's throughput metric, are
+    schedule-invariant — the fleet effects show up in each report's
+    ``fleet`` field).
 
     Returns:
         ``{mode: {num_videos: report}}``.
@@ -57,7 +65,9 @@ def run(workloads: Optional[List[VideoWorkload]] = None,
     if workloads is None:
         workloads = build_workloads(config, dataset_names, system_config)
     video_counts = [count for count in video_counts if count <= len(workloads)]
-    simulation = EndToEndSimulation(workloads, system_config)
+    simulation = EndToEndSimulation(workloads, system_config,
+                                    num_edge_servers=num_edge_servers,
+                                    placement=placement)
     results: Dict[DeploymentMode, Dict[int, DeploymentReport]] = {}
     for mode in modes:
         results[mode] = simulation.throughput_vs_corpus_size(mode, video_counts)

@@ -30,13 +30,21 @@ def run(workloads: Optional[List[VideoWorkload]] = None,
         config: ExperimentConfig = ExperimentConfig(),
         dataset_names: Sequence[str] = ALL_DATASETS,
         modes: Sequence[DeploymentMode] = ALL_DEPLOYMENT_MODES,
-        system_config: Optional[SystemConfig] = None
+        system_config: Optional[SystemConfig] = None,
+        num_edge_servers: int = 1,
+        placement: str = "round-robin"
         ) -> Dict[DeploymentMode, DeploymentReport]:
-    """Run the Figure 5 measurement (full corpus, every deployment)."""
+    """Run the Figure 5 measurement (full corpus, every deployment).
+
+    Runs on the discrete-event fleet scheduler; byte totals are placement-
+    invariant, so this figure is unchanged by ``num_edge_servers``.
+    """
     system_config = system_config or SystemConfig()
     if workloads is None:
         workloads = build_workloads(config, dataset_names, system_config)
-    simulation = EndToEndSimulation(workloads, system_config)
+    simulation = EndToEndSimulation(workloads, system_config,
+                                    num_edge_servers=num_edge_servers,
+                                    placement=placement)
     return {mode: simulation.run(mode) for mode in modes}
 
 

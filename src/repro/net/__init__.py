@@ -1,7 +1,9 @@
 """Simulated network substrate: links, channels and the 3-tier topology."""
 
 from .channel import Channel, Message
+from .contention import ContendedLink
 from .link import NetworkLink, TransferRecord
 from .topology import ThreeTierTopology
 
-__all__ = ["Channel", "Message", "NetworkLink", "TransferRecord", "ThreeTierTopology"]
+__all__ = ["Channel", "ContendedLink", "Message", "NetworkLink", "TransferRecord",
+           "ThreeTierTopology"]

@@ -1,0 +1,69 @@
+"""Shared-link contention driven by the discrete-event scheduler.
+
+A :class:`~repro.net.link.NetworkLink` is pure accounting: ``transfer``
+records how long a payload *would* take, but concurrent transfers do not
+delay one another.  :class:`ContendedLink` layers queueing on top — it
+serialises transfers over the link through a
+:class:`~repro.dataflow.scheduler.ServiceStation`, so when many cameras (or
+many edge servers) share one uplink, later transfers wait in virtual time
+and the fleet simulator observes the resulting queue depths and latency
+inflation.  The underlying link still receives one
+:class:`~repro.net.link.TransferRecord` per payload, so byte and duration
+totals stay comparable with the uncontended accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..dataflow.scheduler import EventScheduler, ServiceStation, StationStats
+from ..errors import NetworkError
+from .link import NetworkLink
+
+
+class ContendedLink:
+    """A network link whose transfers queue on a shared event scheduler.
+
+    Args:
+        scheduler: The shared virtual clock.
+        link: The link providing bandwidth/latency and byte accounting.
+        channels: Number of transfers the link can carry simultaneously
+            (1 models strict serialisation, matching a saturated uplink).
+    """
+
+    def __init__(self, scheduler: EventScheduler, link: NetworkLink,
+                 channels: int = 1) -> None:
+        if channels < 1:
+            raise NetworkError(f"channels must be >= 1, got {channels}")
+        self.link = link
+        self._station = ServiceStation(scheduler, f"link:{link.name}",
+                                       capacity=channels)
+
+    @property
+    def stats(self) -> StationStats:
+        """Queueing statistics of the link (busy time, peak queue depth)."""
+        return self._station.stats
+
+    @property
+    def queue_depth(self) -> int:
+        """Transfers currently waiting for the link."""
+        return self._station.queue_depth
+
+    def submit(self, size_bytes: int, description: str = "",
+               on_complete: Optional[Callable[[Any], None]] = None,
+               payload: Any = None) -> None:
+        """Queue a transfer; ``on_complete(payload)`` fires on delivery."""
+        if size_bytes < 0:
+            raise NetworkError("size_bytes must be >= 0")
+        duration = self.link.transfer_seconds(size_bytes)
+
+        def _deliver(delivered: Any) -> None:
+            self.link.transfer(size_bytes, description)
+            if on_complete is not None:
+                on_complete(delivered)
+
+        self._station.submit(duration, on_complete=_deliver, payload=payload)
+
+    def utilisation(self, makespan_seconds: float) -> float:
+        """Fraction of link time spent transferring over ``makespan_seconds``."""
+        return self._station.utilisation(makespan_seconds)

@@ -9,6 +9,31 @@ The helpers here implement a tiny *seed-derivation* scheme: a root seed plus a
 sequence of string labels (e.g. ``("jackson_square", "events")``) maps to a
 unique child seed.  This keeps independent components decorrelated while
 remaining reproducible and order-independent.
+
+Seeding contract
+----------------
+
+Every stochastic component of the library MUST obey these rules, which
+together guarantee that a single root seed reproduces an entire experiment —
+including the discrete-event fleet simulator — bit for bit:
+
+1. **All randomness flows through** :func:`make_rng`.  Components never call
+   ``numpy.random.default_rng`` (or the global ``numpy.random`` state)
+   directly, and never consult wall-clock time, object ids or iteration
+   order of unordered containers.
+2. **Child seeds are derived, not shared.**  A component that needs its own
+   stream derives it as ``make_rng(root, "component", "purpose")`` (e.g. the
+   fleet simulator's arrival jitter uses ``("fleet", "arrivals")``).
+   Distinct label tuples give decorrelated streams, so adding a consumer
+   never perturbs existing ones.
+3. **Draw order is fixed.**  Within one component, draws happen in a
+   deterministic order (e.g. one vectorised ``uniform`` of length N rather
+   than N data-dependent scalar draws), so equal seeds imply equal values.
+4. **The event scheduler adds no randomness.**  Simultaneous events fire in
+   submission order (:class:`repro.dataflow.scheduler.EventScheduler` breaks
+   time ties with a monotone sequence number); therefore two fleet runs with
+   the same jobs, configuration and root seed produce identical metrics,
+   which the determinism regression test pins.
 """
 
 from __future__ import annotations

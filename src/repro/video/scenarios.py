@@ -176,6 +176,38 @@ def amsterdam(duration_seconds: float = DEFAULT_DURATION_SECONDS,
     return profile.scaled(render_scale)
 
 
+def highway(duration_seconds: float = DEFAULT_DURATION_SECONDS,
+            render_scale: float = DEFAULT_RENDER_SCALE,
+            seed: int = 6) -> SceneProfile:
+    """Highway overpass: fast cars and trucks in a steady stream (720p).
+
+    Not part of the paper's Table I — added for the fleet-scaling workload,
+    where a high event rate stresses the edge tier harder than the square
+    and intersection feeds.
+    """
+    classes = (
+        (ObjectClassSpec("car", relative_height=0.16, aspect_ratio=2.4,
+                         speed_fraction=0.40, brightness_delta=72.0), 0.8),
+        (ObjectClassSpec("truck", relative_height=0.24, aspect_ratio=2.9,
+                         speed_fraction=0.32, brightness_delta=88.0), 0.2),
+    )
+    profile = SceneProfile(
+        name="highway",
+        resolution=RESOLUTION_720P,
+        fps=30.0,
+        duration_seconds=duration_seconds,
+        object_classes=classes,
+        mean_gap_seconds=3.0,
+        mean_dwell_seconds=3.0,
+        noise_std=2.5,
+        background_detail=20.0,
+        illumination_drift=2.5,
+        max_concurrent_objects=2,
+        seed=seed,
+    )
+    return profile.scaled(render_scale)
+
+
 #: Mapping from scenario name to constructor.
 SCENARIOS = {
     "jackson_square": jackson_square,
@@ -183,6 +215,7 @@ SCENARIOS = {
     "venice": venice,
     "taipei": taipei,
     "amsterdam": amsterdam,
+    "highway": highway,
 }
 
 #: Scenarios for which the paper has ground-truth object labels.

@@ -1,0 +1,101 @@
+"""Error-path tests for the dataflow engine's graph construction and run."""
+
+import pytest
+
+from repro.dataflow import (DataflowEngine, FunctionOperator, Operator,
+                            SinkOperator, SourceOperator)
+from repro.errors import DataflowError
+
+
+def make_engine(*names):
+    engine = DataflowEngine("errors")
+    for name in names:
+        engine.add_operator(FunctionOperator(name, lambda x: x))
+    return engine
+
+
+class TestGraphConstructionErrors:
+    def test_duplicate_operator_rejected(self):
+        engine = make_engine("a")
+        with pytest.raises(DataflowError, match="already exists"):
+            engine.add_operator(SinkOperator("a"))
+
+    def test_empty_operator_name_rejected(self):
+        with pytest.raises(DataflowError, match="non-empty"):
+            FunctionOperator("", lambda x: x)
+
+    def test_connect_unknown_upstream_rejected(self):
+        engine = make_engine("known")
+        with pytest.raises(DataflowError, match="unknown operator"):
+            engine.connect("missing", "known")
+
+    def test_connect_unknown_downstream_rejected(self):
+        engine = make_engine("known")
+        with pytest.raises(DataflowError, match="unknown operator"):
+            engine.connect("known", "missing")
+
+    def test_duplicate_connection_rejected(self):
+        engine = make_engine("a", "b")
+        engine.connect("a", "b")
+        with pytest.raises(DataflowError, match="already exists"):
+            engine.connect("a", "b")
+
+    def test_self_loop_rejected(self):
+        engine = make_engine("a")
+        with pytest.raises(DataflowError, match="cycle"):
+            engine.connect("a", "a")
+
+    def test_two_node_cycle_rejected(self):
+        engine = make_engine("a", "b")
+        engine.connect("a", "b")
+        with pytest.raises(DataflowError, match="cycle"):
+            engine.connect("b", "a")
+
+    def test_long_cycle_rejected(self):
+        engine = make_engine("a", "b", "c", "d")
+        engine.connect("a", "b")
+        engine.connect("b", "c")
+        engine.connect("c", "d")
+        with pytest.raises(DataflowError, match="cycle"):
+            engine.connect("d", "a")
+        # The failed connect must not have been half-applied: the graph is
+        # still acyclic and runnable end to end.
+        assert engine.topological_order(strict=True) == ["a", "b", "c", "d"]
+
+    def test_operator_lookup_unknown_name(self):
+        engine = make_engine("a")
+        with pytest.raises(DataflowError, match="unknown operator"):
+            engine.operator("nope")
+        with pytest.raises(DataflowError, match="unknown operator"):
+            engine.upstreams("nope")
+        with pytest.raises(DataflowError, match="unknown operator"):
+            engine.downstreams("nope")
+        assert engine.has_operator("a") and not engine.has_operator("nope")
+
+
+class TestExecutionErrors:
+    def test_empty_graph_execution_rejected(self):
+        with pytest.raises(DataflowError, match="no operators"):
+            DataflowEngine("empty").run()
+
+    def test_unknown_external_input_target_rejected(self):
+        engine = make_engine("a")
+        with pytest.raises(DataflowError, match="external input target"):
+            engine.run({"missing": [1, 2]})
+
+    def test_external_input_into_source_rejected(self):
+        engine = DataflowEngine("src-input")
+        engine.add_operator(SourceOperator("source", [1]))
+        engine.add_operator(SinkOperator("sink"))
+        engine.connect("source", "sink")
+        with pytest.raises(DataflowError, match="source operator"):
+            engine.run({"source": [2]})
+
+    def test_source_rejects_direct_input(self):
+        source = SourceOperator("source", [1])
+        with pytest.raises(DataflowError, match="do not accept inputs"):
+            source.process(1)
+
+    def test_base_operator_process_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Operator("abstract").process(1)
