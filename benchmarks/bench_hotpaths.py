@@ -1,0 +1,218 @@
+"""Micro-benchmarks for the optimised hot paths.
+
+Covers the codepaths the perf PRs touch: entropy encode/decode (vectorised
+vs the retained reference implementation), motion search, DCT + quantise,
+single vs batched NN inference, and the discrete-event scheduler loop.
+Every measurement is recorded through :class:`repro.perf.BenchReport` into
+``BENCH_hotpaths.json`` so speedups are *measured*, not asserted — the
+assertions here are deliberately conservative sanity floors (the recorded
+numbers are the real result).
+
+Run with ``python -m pytest benchmarks/bench_hotpaths.py -q
+--benchmark-disable`` for a quick instrumented pass, or with
+``--benchmark-only`` for full pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codec import entropy
+from repro.codec.blocks import pad_plane, to_blocks
+from repro.codec.motion import candidate_offsets, estimate_motion, shift_plane
+from repro.codec.transform import reconstruct_blocks, transform_and_quantise
+from repro.dataflow.scheduler import EventScheduler, ServiceStation
+from repro.nn import build_yolo_lite, classify_frame, classify_frames
+from repro.video.scenarios import make_scenario
+from repro.video.synthetic import SyntheticScene
+
+#: The micro-benchmarks use a fixed moderate footage scale (independent of
+#: the end-to-end harnesses) so recorded numbers are comparable across runs.
+FRAME_RENDER_SCALE = 0.25
+BLOCK_SIZE = 8
+QUALITY = 75
+
+
+def min_time(function, repeats: int = 5) -> float:
+    """Best-of-N wall-clock seconds for one call (micro-benchmark convention)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def hotpaths_report(bench_report_factory):
+    return bench_report_factory("hotpaths")
+
+
+@pytest.fixture(scope="module")
+def frame_pair():
+    """Two consecutive luma planes of a representative synthetic scene."""
+    profile = make_scenario("jackson_square", duration_seconds=2.0,
+                            render_scale=FRAME_RENDER_SCALE)
+    video = SyntheticScene(profile).video()
+    frames = []
+    for frame in video.frames():
+        frames.append(frame.to_grayscale().astype(np.float64))
+        if len(frames) == 2:
+            break
+    return frames[0], frames[1]
+
+
+@pytest.fixture(scope="module")
+def quantised_frame(frame_pair):
+    """Quantised DCT blocks of one representative frame."""
+    luma = frame_pair[0] - 128.0
+    blocks = to_blocks(pad_plane(luma, BLOCK_SIZE), BLOCK_SIZE)
+    return transform_and_quantise(blocks, QUALITY)
+
+
+class TestEntropyCoding:
+    def test_encode_speedup(self, benchmark, quantised_frame, hotpaths_report):
+        payload = entropy.encode_blocks(quantised_frame)
+        assert payload == entropy.encode_blocks_reference(quantised_frame)
+        baseline = min_time(lambda: entropy.encode_blocks_reference(quantised_frame))
+        optimised = min_time(lambda: entropy.encode_blocks(quantised_frame))
+        entry = hotpaths_report.record_speedup(
+            "entropy_encode", baseline, optimised,
+            blocks=int(np.prod(quantised_frame.shape[:2])),
+            payload_bytes=len(payload))
+        benchmark(entropy.encode_blocks, quantised_frame)
+        # Speedups are measured and recorded, not asserted: wall-clock floors
+        # would make CI flaky on shared runners.  Only sanity is checked.
+        assert entry.value > 0
+
+    def test_decode_speedup(self, benchmark, quantised_frame, hotpaths_report):
+        payload = entropy.encode_blocks(quantised_frame)
+        blocks_y, blocks_x = quantised_frame.shape[:2]
+        decoded = entropy.decode_blocks(payload, blocks_y, blocks_x, BLOCK_SIZE)
+        assert np.array_equal(
+            decoded, entropy.decode_blocks_reference(payload, blocks_y,
+                                                     blocks_x, BLOCK_SIZE))
+        baseline = min_time(lambda: entropy.decode_blocks_reference(
+            payload, blocks_y, blocks_x, BLOCK_SIZE))
+        optimised = min_time(lambda: entropy.decode_blocks(
+            payload, blocks_y, blocks_x, BLOCK_SIZE))
+        entry = hotpaths_report.record_speedup(
+            "entropy_decode", baseline, optimised,
+            payload_bytes=len(payload))
+        benchmark(entropy.decode_blocks, payload, blocks_y, blocks_x,
+                  BLOCK_SIZE)
+        assert entry.value > 0
+
+
+def _estimate_motion_reference(reference, current, block_size, search_radius):
+    """The seed's per-candidate motion search (baseline for the speedup)."""
+    reference = pad_plane(np.asarray(reference, dtype=np.float64), block_size)
+    current = pad_plane(np.asarray(current, dtype=np.float64), block_size)
+    current_blocks = to_blocks(current, block_size)
+    blocks_y, blocks_x = current_blocks.shape[:2]
+    best_sad = np.full((blocks_y, blocks_x), np.inf)
+    best_vector = np.zeros((blocks_y, blocks_x, 2), dtype=np.int16)
+    zero_sad = None
+    for dy, dx in candidate_offsets(search_radius, 1):
+        predicted = shift_plane(reference, dy, dx)
+        sad = np.abs(to_blocks(predicted, block_size)
+                     - current_blocks).sum(axis=(2, 3))
+        if (dy, dx) == (0, 0):
+            zero_sad = sad
+        better = sad < best_sad
+        best_sad = np.where(better, sad, best_sad)
+        best_vector[better] = (dy, dx)
+    return best_vector, best_sad, zero_sad
+
+
+class TestMotionSearch:
+    def test_motion_search_speedup(self, benchmark, frame_pair, hotpaths_report):
+        reference, current = frame_pair
+        radius = 3
+        field = estimate_motion(reference, current, BLOCK_SIZE, radius)
+        ref_vectors, ref_sad, _ = _estimate_motion_reference(
+            reference, current, BLOCK_SIZE, radius)
+        assert np.array_equal(field.vectors, ref_vectors)
+        assert np.array_equal(field.block_sad, ref_sad)
+        baseline = min_time(lambda: _estimate_motion_reference(
+            reference, current, BLOCK_SIZE, radius))
+        optimised = min_time(lambda: estimate_motion(
+            reference, current, BLOCK_SIZE, radius))
+        entry = hotpaths_report.record_speedup(
+            "motion_search", baseline, optimised,
+            frame_shape=list(reference.shape),
+            candidates=len(candidate_offsets(radius, 1)))
+        benchmark(estimate_motion, reference, current, BLOCK_SIZE, radius)
+        assert entry.value > 0
+
+
+class TestTransform:
+    def test_dct_quantise_throughput(self, benchmark, frame_pair,
+                                     hotpaths_report):
+        luma = frame_pair[0] - 128.0
+        blocks = to_blocks(pad_plane(luma, BLOCK_SIZE), BLOCK_SIZE)
+        seconds = min_time(lambda: transform_and_quantise(blocks, QUALITY))
+        num_blocks = int(np.prod(blocks.shape[:2]))
+        hotpaths_report.record("dct_quantise", seconds, "seconds",
+                               blocks=num_blocks)
+        hotpaths_report.record("dct_quantise.blocks_per_second",
+                               num_blocks / seconds, "items_per_second")
+        quantised = transform_and_quantise(blocks, QUALITY)
+        roundtrip = min_time(lambda: reconstruct_blocks(quantised, QUALITY))
+        hotpaths_report.record("idct_dequantise", roundtrip, "seconds",
+                               blocks=num_blocks)
+        benchmark(transform_and_quantise, blocks, QUALITY)
+        assert seconds > 0
+
+
+class TestInference:
+    def test_single_vs_batched(self, benchmark, hotpaths_report):
+        model = build_yolo_lite()
+        rng = np.random.default_rng(17)
+        frames = [rng.integers(0, 255, size=(64, 64), dtype=np.uint8)
+                  for _ in range(32)]
+        # Warm both paths before timing.
+        classify_frame(model, frames[0])
+        classify_frames(model, frames[:2], batch_size=2)
+        single = min_time(
+            lambda: [classify_frame(model, frame) for frame in frames],
+            repeats=3)
+        batched = min_time(
+            lambda: classify_frames(model, frames, batch_size=16), repeats=3)
+        entry = hotpaths_report.record_speedup(
+            "nn_inference_batched", single, batched,
+            frames=len(frames), batch_size=16)
+        hotpaths_report.record("nn_inference.frames_per_second",
+                               len(frames) / batched, "items_per_second")
+        benchmark(classify_frames, model, frames)
+        assert entry.value > 0
+        # Batched labels match the per-frame path exactly.
+        labels, _ = classify_frames(model, frames, batch_size=16)
+        assert labels == [classify_frame(model, frame)[0] for frame in frames]
+
+
+class TestSchedulerEventLoop:
+    NUM_JOBS = 20_000
+
+    def _run_station(self):
+        scheduler = EventScheduler()
+        station = ServiceStation(scheduler, "bench", capacity=4)
+        for index in range(self.NUM_JOBS):
+            station.submit(0.001 * (index % 7 + 1))
+        scheduler.run()
+        return scheduler
+
+    def test_event_loop_throughput(self, benchmark, hotpaths_report):
+        seconds = min_time(self._run_station, repeats=3)
+        scheduler = self._run_station()
+        events_per_second = scheduler.events_processed / seconds
+        hotpaths_report.record("scheduler_event_loop", seconds, "seconds",
+                               events=scheduler.events_processed)
+        hotpaths_report.record("scheduler_event_loop.events_per_second",
+                               events_per_second, "items_per_second")
+        benchmark(self._run_station)
+        assert scheduler.events_processed == self.NUM_JOBS
+        assert events_per_second > 0

@@ -6,6 +6,11 @@ is controlled by the ``REPRO_EXPERIMENT_DURATION`` / ``REPRO_EXPERIMENT_SCALE``
 environment variables (see :class:`repro.experiments.ExperimentConfig`); the
 defaults below keep a full ``pytest benchmarks/ --benchmark-only`` run in the
 ten-minute range on a laptop CPU.
+
+Benchmark modules additionally record machine-readable measurements through
+:class:`repro.perf.BenchReport`; reports are written to ``BENCH_<name>.json``
+at the repository root when the session ends, which is how the repo's perf
+trajectory accumulates across PRs.
 """
 
 from __future__ import annotations
@@ -16,10 +21,14 @@ import pytest
 
 from repro.experiments import ExperimentConfig
 from repro.logging_utils import configure_logging
+from repro.perf import BenchReport
 
 #: Default benchmark footage scale (can be overridden via the environment).
 BENCH_DURATION_SECONDS = float(os.environ.get("REPRO_EXPERIMENT_DURATION", 30.0))
 BENCH_RENDER_SCALE = float(os.environ.get("REPRO_EXPERIMENT_SCALE", 0.10))
+
+#: Repository root — bench reports are written next to ROADMAP.md.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -40,3 +49,27 @@ def bench_config_small() -> ExperimentConfig:
     """Smaller scale for the heavier end-to-end harnesses (Figures 4-5)."""
     return ExperimentConfig(duration_seconds=min(BENCH_DURATION_SECONDS, 20.0),
                             render_scale=min(BENCH_RENDER_SCALE, 0.08))
+
+
+@pytest.fixture(scope="session")
+def bench_report_factory():
+    """Factory producing named :class:`BenchReport` instances.
+
+    Every report created through the factory that recorded at least one
+    entry is written to ``BENCH_<name>.json`` at the repository root when
+    the test session finishes.
+    """
+    reports = []
+
+    def make(name: str) -> BenchReport:
+        report = BenchReport(name, context={
+            "duration_seconds": BENCH_DURATION_SECONDS,
+            "render_scale": BENCH_RENDER_SCALE,
+        })
+        reports.append(report)
+        return report
+
+    yield make
+    for report in reports:
+        if report.entries:
+            report.write(report.default_path(REPO_ROOT))

@@ -45,7 +45,15 @@ def pad_plane(plane: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> np.nda
     target_h, target_w = padded_shape(height, width, block_size)
     if (target_h, target_w) == (height, width):
         return plane
-    return np.pad(plane, ((0, target_h - height), (0, target_w - width)), mode="edge")
+    # Hand-rolled edge replication: np.pad's generic machinery costs more
+    # than the copy itself on this per-frame hot path.
+    padded = np.empty((target_h, target_w), dtype=plane.dtype)
+    padded[:height, :width] = plane
+    if target_h > height:
+        padded[height:, :width] = plane[-1]
+    if target_w > width:
+        padded[:, width:] = padded[:, width - 1:width]
+    return padded
 
 
 def crop_plane(plane: np.ndarray, height: int, width: int) -> np.ndarray:

@@ -16,6 +16,15 @@ computed exactly without materialising the payload
 (:func:`encoded_size_bytes`), which is what the video encoder uses on its
 fast path; :func:`encode_blocks` / :func:`decode_blocks` provide the real
 round-trip used by the still-image codec and the tests.
+
+Both directions are fully vectorised: encoding is a numpy run-length pass
+over the zig-zag rows (``flatnonzero``/``diff`` -> token/level byte arrays
+-> ``tobytes``), decoding is a token scan over a ``frombuffer`` view whose
+token positions are found by pointer doubling.  The original per-block
+Python implementations are retained as :func:`encode_blocks_reference` /
+:func:`decode_blocks_reference` — they pin the byte format, and the
+equivalence property tests assert the vectorised pair matches them byte for
+byte.
 """
 
 from __future__ import annotations
@@ -104,7 +113,213 @@ def encoded_size_bytes(quantised: np.ndarray) -> int:
 
 
 def encode_blocks(quantised: np.ndarray) -> bytes:
-    """Encode a 4-D quantised block array into the byte format described above."""
+    """Encode a 4-D quantised block array into the byte format described above.
+
+    Vectorised run-length pass: every non-zero coefficient becomes one chunk
+    of ``[ZRL...] token level-bytes`` whose offset into the output buffer is
+    computed with a cumulative sum, and the buffer starts zeroed so the EOB
+    byte (``0x00``) of every block is already in place.  Byte-for-byte
+    identical to :func:`encode_blocks_reference`.
+    """
+    rows = _to_zigzag_rows(np.clip(quantised, -MAX_LEVEL, MAX_LEVEL))
+    num_blocks, num_coeffs = rows.shape
+    flat = rows.ravel()
+    nonzero_flat = np.flatnonzero(flat)
+    if nonzero_flat.size == 0:
+        # Every block is empty: the payload is one EOB per block.
+        return bytes(num_blocks)
+
+    levels = flat[nonzero_flat].astype(np.int64)
+    block_index = nonzero_flat // num_coeffs
+    position = nonzero_flat - block_index * num_coeffs
+    # Zig-zag position of the previous non-zero coefficient in the same
+    # block (-1 at a block start), from which the zero-run length follows.
+    previous = np.empty_like(position)
+    previous[0] = -1
+    previous[1:] = position[:-1]
+    first_in_block = np.empty(nonzero_flat.size, dtype=bool)
+    first_in_block[0] = True
+    np.not_equal(block_index[1:], block_index[:-1], out=first_in_block[1:])
+    previous[first_in_block] = -1
+    run = position - previous - 1
+
+    zrl_count = run >> 4
+    short_run = run & 0x0F
+    size = _level_bytes(levels)
+    token = (short_run << 4) | size
+
+    # Chunk layout: zrl_count ZRL bytes, the token byte, then 1-2 level
+    # bytes.  Chunks are laid out in (block, position) order with one EOB
+    # byte between consecutive blocks' chunk groups.
+    chunk_length = zrl_count + 1 + size
+    chunk_start = np.empty(nonzero_flat.size, dtype=np.int64)
+    chunk_start[0] = 0
+    np.cumsum(chunk_length[:-1], out=chunk_start[1:])
+    chunk_start += block_index  # one EOB per already-completed block
+
+    total = int(chunk_length.sum()) + num_blocks
+    output = np.zeros(total, dtype=np.uint8)  # zeros double as the EOB bytes
+    # ZRL runs are at most (num_coeffs - 1) // 16 bytes long, so this loop is
+    # bounded by the block size (3 iterations for 8x8 blocks), not the data.
+    for offset in range(int(zrl_count.max(initial=0))):
+        needs_zrl = zrl_count > offset
+        output[chunk_start[needs_zrl] + offset] = ZRL
+    token_position = chunk_start + zrl_count
+    output[token_position] = token.astype(np.uint8)
+    # Level bytes, big-endian two's complement (1 or 2 bytes).
+    one_byte = size == 1
+    output[token_position[one_byte] + 1] = (levels[one_byte] & 0xFF).astype(np.uint8)
+    two_byte = ~one_byte
+    output[token_position[two_byte] + 1] = \
+        ((levels[two_byte] >> 8) & 0xFF).astype(np.uint8)
+    output[token_position[two_byte] + 2] = (levels[two_byte] & 0xFF).astype(np.uint8)
+    return output.tobytes()
+
+
+def _token_positions(data: np.ndarray) -> np.ndarray:
+    """Positions of every token byte in an entropy payload, by pointer doubling.
+
+    Treating *every* byte as a potential token start, the byte at ``p``
+    consumes ``1 + size`` bytes when it is a run/level token and ``1`` byte
+    when it is ``EOB``/``ZRL``; the actual token positions are the orbit of
+    ``0`` under ``p -> p + consumed(p)``.  Squaring the jump table marks the
+    whole orbit in ``O(log n)`` vectorised passes: after iteration ``j`` the
+    marked set is exactly the chain's first ``2^j`` positions.
+    """
+    length = data.size
+    if length == 0:
+        return np.empty(0, dtype=np.int64)
+    step = np.ones(length, dtype=np.int64)
+    is_token = (data != EOB) & (data != ZRL)
+    step[is_token] += data[is_token] & 0x0F
+    jump = np.minimum(np.arange(length, dtype=np.int64) + step, length)
+    jump = np.append(jump, length)  # position ``length`` is a fixed point
+    scratch = np.empty(length + 1, dtype=np.int64)
+    marked = np.zeros(length + 1, dtype=bool)
+    marked[0] = True
+    # After iteration ``k`` the frontier holds chain steps ``0..2^k - 1`` and
+    # ``jump`` advances ``2^k`` steps, so jumping the whole frontier yields
+    # steps ``2^k..2^(k+1) - 1`` — all fresh, except the clamped sentinel.
+    frontier = np.zeros(1, dtype=np.int64)
+    while True:
+        advanced = jump[frontier]
+        fresh = advanced[~marked[advanced]]
+        fresh = fresh[fresh < length]
+        if fresh.size == 0:
+            break
+        marked[fresh] = True
+        frontier = np.concatenate([frontier, fresh])
+        np.take(jump, jump, out=scratch)
+        jump, scratch = scratch, jump
+    return np.flatnonzero(marked[:length])
+
+
+def decode_blocks(payload: bytes, blocks_y: int, blocks_x: int,
+                  block_size: int) -> np.ndarray:
+    """Decode :func:`encode_blocks` output back into a 4-D block array.
+
+    Vectorised token scan over a ``frombuffer`` view of the payload: token
+    positions come from :func:`_token_positions`, then runs, levels and
+    per-block coefficient positions are reconstructed with segmented
+    cumulative sums.  Byte-for-byte equivalent to
+    :func:`decode_blocks_reference` on well-formed payloads and raises
+    :class:`~repro.errors.BitstreamError` on the same malformed ones.
+
+    Args:
+        payload: Encoded bytes.
+        blocks_y: Number of block rows.
+        blocks_x: Number of block columns.
+        block_size: Block edge length.
+
+    Returns:
+        Quantised coefficient blocks of shape ``(blocks_y, blocks_x, b, b)``.
+
+    Raises:
+        BitstreamError: If the payload is truncated or malformed.
+    """
+    num_blocks = blocks_y * blocks_x
+    num_coeffs = block_size * block_size
+    _, inverse = zigzag_order(block_size)
+    rows = np.zeros((num_blocks, num_coeffs), dtype=np.int32)
+
+    data = np.frombuffer(payload, dtype=np.uint8)
+    positions = _token_positions(data)
+    tokens = data[positions]
+    is_eob = tokens == EOB
+    eob_before = np.cumsum(is_eob) - is_eob  # EOBs seen before each token
+
+    # The scan stops at the ``num_blocks``-th EOB; everything after it is
+    # either trailing garbage or evidence of truncation.
+    complete = np.flatnonzero(is_eob & (eob_before == num_blocks - 1)) \
+        if num_blocks else np.empty(0, dtype=np.int64)
+    if num_blocks and complete.size == 0:
+        # Ran out of payload before every block closed.  Distinguish the two
+        # reference error messages: a token whose level bytes run past the
+        # end versus a clean end with blocks still open.
+        if positions.size and positions[-1] + _consumed(tokens[-1]) > data.size:
+            raise BitstreamError("truncated entropy payload (missing level bytes)")
+        raise BitstreamError("truncated entropy payload (missing EOB)")
+    end_index = int(complete[0]) if num_blocks else -1
+    end_offset = (positions[end_index] + 1) if num_blocks else 0
+    if end_offset != data.size:
+        raise BitstreamError(
+            f"trailing {data.size - end_offset} bytes after decoding "
+            f"{num_blocks} blocks")
+
+    in_scan = slice(0, end_index + 1)
+    tokens = tokens[in_scan]
+    positions = positions[in_scan]
+    is_eob = is_eob[in_scan]
+    block_of = eob_before[in_scan]
+    is_zrl = tokens == ZRL
+    is_level = ~is_eob
+    np.logical_and(is_level, ~is_zrl, out=is_level)
+    size = (tokens & 0x0F).astype(np.int64)
+    bad = is_level & ((size == 0) | (size > 2))
+    if bad.any():
+        raise BitstreamError(
+            f"invalid level size {int(size[bad.argmax()])} in entropy payload")
+
+    # Coefficient index of each level token: segmented cumulative advance
+    # (ZRL adds 16, a run/level token adds run + 1) reset at block starts.
+    # EOB tokens have a zero run nibble, so `run + 1 - is_eob` folds all
+    # three token kinds into one expression without fancy-index assignments
+    # (ZRL's run nibble is 15, i.e. an advance of 16 as required).
+    advance = (tokens >> 4).astype(np.int64) + 1 - is_eob
+    total_advance = np.cumsum(advance)
+    block_base = np.zeros(num_blocks, dtype=np.int64)
+    eob_positions = np.flatnonzero(is_eob)
+    if num_blocks > 1:
+        block_base[1:] = total_advance[eob_positions[:num_blocks - 1]]
+    coeff_index = total_advance[is_level] - block_base[block_of[is_level]] - 1
+    if coeff_index.size and int(coeff_index.max()) >= num_coeffs:
+        raise BitstreamError("coefficient index out of range in entropy payload")
+
+    level_positions = positions[is_level]
+    # Sign-extended first level byte; two-byte levels fold in the low byte.
+    levels = data[level_positions + 1].astype(np.int8).astype(np.int32)
+    two = size[is_level] == 2
+    levels[two] = levels[two] * 256 + data[level_positions[two] + 2]
+    rows[block_of[is_level], coeff_index] = levels
+
+    raster = rows[:, inverse]
+    return raster.reshape(blocks_y, blocks_x, block_size, block_size)
+
+
+def _consumed(token: int) -> int:
+    """Bytes consumed by one token byte (token itself plus its level bytes)."""
+    if token == EOB or token == ZRL:
+        return 1
+    return 1 + (int(token) & 0x0F)
+
+
+def encode_blocks_reference(quantised: np.ndarray) -> bytes:
+    """Reference per-block Python encoder (pins the byte format).
+
+    This is the original implementation :func:`encode_blocks` replaced; the
+    equivalence property tests assert both produce identical payloads, and
+    the micro-benchmarks use it as the speedup baseline.
+    """
     rows = _to_zigzag_rows(np.clip(quantised, -MAX_LEVEL, MAX_LEVEL))
     output = bytearray()
     for row in rows:
@@ -124,21 +339,12 @@ def encode_blocks(quantised: np.ndarray) -> bytes:
     return bytes(output)
 
 
-def decode_blocks(payload: bytes, blocks_y: int, blocks_x: int,
-                  block_size: int) -> np.ndarray:
-    """Decode :func:`encode_blocks` output back into a 4-D block array.
+def decode_blocks_reference(payload: bytes, blocks_y: int, blocks_x: int,
+                            block_size: int) -> np.ndarray:
+    """Reference per-byte Python decoder (pins the byte format).
 
-    Args:
-        payload: Encoded bytes.
-        blocks_y: Number of block rows.
-        blocks_x: Number of block columns.
-        block_size: Block edge length.
-
-    Returns:
-        Quantised coefficient blocks of shape ``(blocks_y, blocks_x, b, b)``.
-
-    Raises:
-        BitstreamError: If the payload is truncated or malformed.
+    See :func:`encode_blocks_reference`; kept for the equivalence tests and
+    as the micro-benchmark baseline.
     """
     num_blocks = blocks_y * blocks_x
     num_coeffs = block_size * block_size
@@ -192,7 +398,13 @@ def coefficient_statistics(quantised: np.ndarray) -> dict:
 
 
 def split_block_payloads(payload: bytes, num_blocks: int) -> List[bytes]:
-    """Split an encoded payload into one byte string per block (diagnostics)."""
+    """Split an encoded payload into one byte string per block (diagnostics).
+
+    Raises:
+        BitstreamError: If the payload is truncated or a token carries an
+            invalid level size — an unvalidated size nibble (3-15) would
+            otherwise silently desynchronise the scan.
+    """
     pieces: List[bytes] = []
     offset = 0
     length = len(payload)
@@ -208,6 +420,10 @@ def split_block_payloads(payload: bytes, num_blocks: int) -> List[bytes]:
             if token == ZRL:
                 continue
             size = token & 0x0F
+            if size not in (1, 2):
+                raise BitstreamError(f"invalid level size {size} in entropy payload")
+            if offset + size > length:
+                raise BitstreamError("truncated entropy payload (missing level bytes)")
             offset += size
         pieces.append(payload[start:offset])
     return pieces

@@ -44,6 +44,26 @@ def candidate_offsets(search_radius: int, step: int = 1) -> Tuple[Tuple[int, int
     return tuple(offsets)
 
 
+def pad_edge(plane: np.ndarray, radius: int) -> np.ndarray:
+    """Pad a plane by ``radius`` on every side with edge replication.
+
+    Equivalent to ``np.pad(plane, radius, mode="edge")`` but hand-rolled —
+    np.pad's generic machinery dominates the copy cost on this per-frame
+    hot path.
+    """
+    if radius <= 0:
+        return plane
+    height, width = plane.shape
+    padded = np.empty((height + 2 * radius, width + 2 * radius),
+                      dtype=plane.dtype)
+    padded[radius:height + radius, radius:width + radius] = plane
+    padded[:radius, radius:width + radius] = plane[0]
+    padded[height + radius:, radius:width + radius] = plane[-1]
+    padded[:, :radius] = padded[:, radius:radius + 1]
+    padded[:, width + radius:] = padded[:, width + radius - 1:width + radius]
+    return padded
+
+
 def shift_plane(plane: np.ndarray, dy: int, dx: int) -> np.ndarray:
     """Shift a plane by ``(dy, dx)`` with edge replication.
 
@@ -110,22 +130,38 @@ def estimate_motion(reference: np.ndarray, current: np.ndarray,
     current = pad_plane(current, block_size)
     current_blocks = to_blocks(current, block_size)
     blocks_y, blocks_x = current_blocks.shape[:2]
+    height, width = current.shape
 
     offsets = candidate_offsets(search_radius, search_step)
-    best_sad = np.full((blocks_y, blocks_x), np.inf)
-    best_vector = np.zeros((blocks_y, blocks_x, 2), dtype=np.int16)
-    zero_sad = None
-    for dy, dx in offsets:
-        predicted = shift_plane(reference, dy, dx)
-        sad = np.abs(to_blocks(predicted, block_size) - current_blocks).sum(axis=(2, 3))
-        if (dy, dx) == (0, 0):
-            zero_sad = sad
-        better = sad < best_sad
-        best_sad = np.where(better, sad, best_sad)
-        best_vector[better] = (dy, dx)
-    assert zero_sad is not None  # the origin is always the first candidate
+    # Pad the reference once by the search radius (edge replication); every
+    # candidate shift is then a pure slice view into the padded plane, which
+    # is what makes the search fast — no per-candidate index arithmetic or
+    # gather.  ``padded[r-dy : r-dy+H, r-dx : r-dx+W]`` equals
+    # ``shift_plane(reference, dy, dx)`` for every ``|dy|, |dx| <= r``.
+    padded = pad_edge(reference, search_radius)
+    # One reusable frame-sized diff buffer: fusing subtract/abs/block-sum per
+    # candidate keeps the working set in cache instead of streaming a
+    # (candidates, H, W) stack through memory.  The diff stays in plane
+    # memory order, so the per-block summation pattern — and therefore every
+    # SAD value — is bit-identical to the original per-candidate
+    # ``to_blocks(...).sum(axis=(2, 3))``.
+    diff = np.empty((height, width))
+    blocked = diff.reshape(blocks_y, block_size, blocks_x, block_size)
+    sads = np.empty((len(offsets), blocks_y, blocks_x))
+    for index, (dy, dx) in enumerate(offsets):
+        shifted = padded[search_radius - dy:search_radius - dy + height,
+                         search_radius - dx:search_radius - dx + width]
+        np.subtract(shifted, current, out=diff)
+        np.abs(diff, out=diff)
+        sads[index] = blocked.sum(axis=(1, 3))
+    # argmin returns the first minimum along the candidate axis, matching the
+    # original loop's first-candidate-wins tie-break (origin first).
+    best_index = sads.argmin(axis=0)
+    best_sad = sads.min(axis=0)
+    offset_table = np.asarray(offsets, dtype=np.int16)
+    best_vector = offset_table[best_index]
     return MotionField(vectors=best_vector, block_sad=best_sad,
-                       zero_sad=zero_sad, block_size=block_size)
+                       zero_sad=sads[0], block_size=block_size)
 
 
 def motion_compensate(reference: np.ndarray, field: MotionField,
@@ -149,10 +185,15 @@ def motion_compensate(reference: np.ndarray, field: MotionField,
             f"{expected_shape}")
     prediction_blocks = np.empty((blocks_y, blocks_x, field.block_size,
                                   field.block_size))
-    unique_vectors = {tuple(v) for v in field.vectors.reshape(-1, 2)}
+    height, width = reference.shape
+    unique_vectors = np.unique(field.vectors.reshape(-1, 2), axis=0)
+    radius = int(np.abs(unique_vectors).max())
+    padded = pad_edge(reference, radius)
     for dy, dx in unique_vectors:
-        shifted_blocks = to_blocks(shift_plane(reference, int(dy), int(dx)),
-                                   field.block_size)
+        dy, dx = int(dy), int(dx)
+        shifted = padded[radius - dy:radius - dy + height,
+                         radius - dx:radius - dx + width]
+        shifted_blocks = to_blocks(shifted, field.block_size)
         mask = np.all(field.vectors == (dy, dx), axis=2)
         prediction_blocks[mask] = shifted_blocks[mask]
     prediction = from_blocks(prediction_blocks)

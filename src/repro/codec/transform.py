@@ -46,11 +46,16 @@ def dct_matrix(size: int) -> np.ndarray:
 
 
 def dct2_blocks(blocks: np.ndarray) -> np.ndarray:
-    """Apply the 2-D DCT to every block of a 4-D block array."""
+    """Apply the 2-D DCT to every block of a 4-D block array.
+
+    Implemented as broadcast matrix products (``M @ blocks @ M.T``), which
+    performs the same two contractions as the original optimised einsum —
+    bit-identical results — without einsum's per-call parsing overhead.
+    """
     if blocks.ndim != 4 or blocks.shape[2] != blocks.shape[3]:
         raise CodecError(f"expected (by, bx, b, b) blocks, got {blocks.shape}")
     matrix = dct_matrix(blocks.shape[2])
-    return np.einsum("ij,pqjk,lk->pqil", matrix, blocks, matrix, optimize=True)
+    return matrix @ blocks @ matrix.T
 
 
 def idct2_blocks(coefficients: np.ndarray) -> np.ndarray:
@@ -58,7 +63,7 @@ def idct2_blocks(coefficients: np.ndarray) -> np.ndarray:
     if coefficients.ndim != 4 or coefficients.shape[2] != coefficients.shape[3]:
         raise CodecError(f"expected (by, bx, b, b) blocks, got {coefficients.shape}")
     matrix = dct_matrix(coefficients.shape[2])
-    return np.einsum("ji,pqjk,kl->pqil", matrix, coefficients, matrix, optimize=True)
+    return matrix.T @ coefficients @ matrix
 
 
 def quality_to_scale(quality: int) -> float:

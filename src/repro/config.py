@@ -92,6 +92,9 @@ class SystemConfig:
         hardware: Per-operation cost calibration.
         nn_input_resolution: (width, height) frames are resized to before NN
             inference / upload.
+        nn_batch_size: Frames fed through the NN per batched forward pass
+            (the analysis pipeline and the dataflow detector operators chunk
+            their sampled frames to this size).
         seed: Root seed for all stochastic components.
     """
 
@@ -101,6 +104,7 @@ class SystemConfig:
     camera_edge_latency_ms: float = 5.0
     hardware: HardwareCalibration = field(default_factory=HardwareCalibration)
     nn_input_resolution: tuple = NN_INPUT_RESOLUTION
+    nn_batch_size: int = 16
     seed: int = 20200601
 
     def __post_init__(self) -> None:
@@ -113,6 +117,8 @@ class SystemConfig:
         width, height = self.nn_input_resolution
         if width <= 0 or height <= 0:
             raise ConfigurationError("nn_input_resolution must be positive")
+        if self.nn_batch_size < 1:
+            raise ConfigurationError("nn_batch_size must be >= 1")
 
     def with_bandwidth(self, edge_cloud_mbps: float) -> "SystemConfig":
         """Return a copy with a different edge->cloud bandwidth."""
@@ -123,6 +129,7 @@ class SystemConfig:
             camera_edge_latency_ms=self.camera_edge_latency_ms,
             hardware=self.hardware,
             nn_input_resolution=self.nn_input_resolution,
+            nn_batch_size=self.nn_batch_size,
             seed=self.seed,
         )
 

@@ -45,7 +45,9 @@ from ..datasets.generator import DatasetInstance
 from ..errors import PipelineError
 from ..jpeg_sizing import resized_frame_bytes  # noqa: F401  (re-exported helper)
 from ..logging_utils import get_logger
+from ..codec.scenecut import FrameActivity
 from ..net.link import NetworkLink
+from ..perf import section as perf_section
 from ..video.events import EventTimeline
 from ..video.frame import Resolution
 from ..vision.mse import MseChangeDetector
@@ -182,7 +184,9 @@ def build_workload(instance: DatasetInstance,
                    config: Optional[SystemConfig] = None,
                    default_parameters: EncoderParameters = DEFAULT_PARAMETERS,
                    target_f1: float = 0.95,
-                   unlabelled_sample_period_seconds: float = 5.0) -> VideoWorkload:
+                   unlabelled_sample_period_seconds: float = 5.0,
+                   activities: Optional[List[FrameActivity]] = None
+                   ) -> VideoWorkload:
     """Prepare one video for the end-to-end simulation.
 
     Follows the paper's protocol: the semantic parameters and the MSE
@@ -201,6 +205,9 @@ def build_workload(instance: DatasetInstance,
         target_f1: F1 target used to select the MSE threshold.
         unlabelled_sample_period_seconds: Sampling period used when no ground
             truth exists.
+        activities: Optional precomputed analysis pass of the clip (e.g. from
+            a cached :class:`~repro.experiments.PreparedDataset`), saving the
+            lookahead re-run.
 
     Returns:
         The condensed :class:`VideoWorkload`.
@@ -215,13 +222,15 @@ def build_workload(instance: DatasetInstance,
                   * H264_EFFICIENCY_FACTOR)
 
     # --- analysis pass + semantic parameters ------------------------------
-    encoder = VideoEncoder(default_parameters)
-    activities = encoder.analyze(video)
+    with perf_section("pipeline.analyze"):
+        if activities is None:
+            activities = VideoEncoder(default_parameters).analyze(video)
     if semantic_parameters is None:
         if timeline is not None:
-            tuner = SemanticEncoderTuner(TuningGrid(), default_parameters)
-            semantic_parameters = tuner.tune_from_activities(
-                activities, timeline, spec.name).best_parameters
+            with perf_section("pipeline.tune"):
+                tuner = SemanticEncoderTuner(TuningGrid(), default_parameters)
+                semantic_parameters = tuner.tune_from_activities(
+                    activities, timeline, spec.name).best_parameters
         else:
             # Unlabelled feed: pin the I-frame rate to one per N seconds.
             gop = max(int(round(unlabelled_sample_period_seconds * fps)), 1)
@@ -229,19 +238,21 @@ def build_workload(instance: DatasetInstance,
                 gop_size=gop, scenecut_threshold=0.0)
 
     # --- encode under both configurations (size-only) ---------------------
-    semantic_encoded = VideoEncoder(semantic_parameters).encode(
-        video, activities=activities)
-    default_encoded = VideoEncoder(default_parameters).encode(
-        video, activities=activities)
+    with perf_section("pipeline.encode"):
+        semantic_encoded = VideoEncoder(semantic_parameters).encode(
+            video, activities=activities)
+        default_encoded = VideoEncoder(default_parameters).encode(
+            video, activities=activities)
     semantic_samples = semantic_encoded.keyframe_indices
 
     # --- MSE baseline threshold -------------------------------------------
-    mse_scores = score_video(MseChangeDetector(), video)
-    if timeline is not None:
-        mse_samples = _mse_samples_for_f1(mse_scores, timeline, target_f1)
-    else:
-        period = max(int(round(unlabelled_sample_period_seconds * fps)), 1)
-        mse_samples = list(range(0, num_frames, period))
+    with perf_section("pipeline.mse_baseline"):
+        mse_scores = score_video(MseChangeDetector(), video)
+        if timeline is not None:
+            mse_samples = _mse_samples_for_f1(mse_scores, timeline, target_f1)
+        else:
+            period = max(int(round(unlabelled_sample_period_seconds * fps)), 1)
+            mse_samples = list(range(0, num_frames, period))
 
     # --- uniform sampling matched to the semantic I-frame count -----------
     interval = max(num_frames // max(len(semantic_samples), 1), 1)

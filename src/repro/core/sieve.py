@@ -94,15 +94,23 @@ class Sieve:
     def analyze_video(self, video: VideoSource,
                       camera_name: Optional[str] = None,
                       detector: Optional[ObjectDetector] = None,
-                      parameters: Optional[EncoderParameters] = None
+                      parameters: Optional[EncoderParameters] = None,
+                      detector_batch_size: Optional[int] = None
                       ) -> VideoAnalysisResult:
         """Run the SiEVE path over one video and label every frame.
 
         The video is (re-)encoded with the camera's tuned parameters, the
-        I-frame seeker selects the key frames, the detector labels them, and
-        every other frame inherits the labels of its segment's leading
-        I-frame.  Results are also written to the result database.
+        I-frame seeker selects the key frames, the detector labels them
+        (through its batched path, ``detector_batch_size`` frames per call —
+        defaulting to the system config's ``nn_batch_size``), and every other
+        frame inherits the labels of its segment's leading I-frame.  Results
+        are also written to the result database.
         """
+        if detector_batch_size is None:
+            detector_batch_size = self.config.nn_batch_size
+        if detector_batch_size < 1:
+            raise PipelineError(
+                f"detector_batch_size must be >= 1, got {detector_batch_size}")
         name = camera_name or video.metadata.name
         parameters = parameters or self.parameters_for(name)
         timeline = getattr(video, "timeline", None)
@@ -114,9 +122,13 @@ class Sieve:
         encoded = VideoEncoder(parameters).encode(video)
         keyframes = IFrameSeeker().keyframe_indices(encoded)
         segments = select_events_from_keyframes(keyframes, encoded.num_frames)
+        starts = [start for start, _ in segments]
+        segment_labels: List[frozenset] = []
+        for chunk_start in range(0, len(starts), detector_batch_size):
+            chunk = starts[chunk_start:chunk_start + detector_batch_size]
+            segment_labels.extend(detector.detect_batch(chunk))
         frame_labels: List[frozenset] = [frozenset()] * encoded.num_frames
-        for start, stop in segments:
-            labels = detector.detect(start)
+        for (start, stop), labels in zip(segments, segment_labels):
             self.results.record(name, start, labels)
             for index in range(start, stop):
                 frame_labels[index] = labels

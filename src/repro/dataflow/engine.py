@@ -10,6 +10,7 @@ per-engine busy time, which is what the end-to-end throughput evaluation
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict, deque
 from typing import Any, Dict, List, Optional, Set
 
@@ -30,6 +31,12 @@ class DataflowEngine:
         self._edges: Dict[str, List[str]] = defaultdict(list)
         self._reverse_edges: Dict[str, List[str]] = defaultdict(list)
         self.busy_seconds = 0.0
+        #: Real (wall-clock) seconds spent inside each operator during the
+        #: last :meth:`run` — the measured counterpart of the simulated
+        #: ``cost_seconds``, used by the perf instrumentation.
+        self.wall_seconds: Dict[str, float] = {}
+        #: Wall-clock duration of the last :meth:`run` call.
+        self.last_run_wall_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # Graph construction
@@ -130,6 +137,8 @@ class DataflowEngine:
             if isinstance(operator, SinkOperator):
                 operator.items.clear()
         self.busy_seconds = 0.0
+        self.wall_seconds = {}
+        self.last_run_wall_seconds = 0.0
 
     def run(self, external_inputs: Optional[Dict[str, List[Any]]] = None
             ) -> Dict[str, List[Any]]:
@@ -148,8 +157,10 @@ class DataflowEngine:
         """
         if not self._operators:
             raise DataflowError(f"engine {self.name!r} has no operators")
+        run_start = time.perf_counter()
         order = self._topological_order()
         pending: Dict[str, deque] = {name: deque() for name in self._operators}
+        self.wall_seconds = {name: 0.0 for name in self._operators}
         if external_inputs:
             for name, items in external_inputs.items():
                 if name not in self._operators:
@@ -162,7 +173,9 @@ class DataflowEngine:
         for name in order:
             operator = self._operators[name]
             if isinstance(operator, SourceOperator):
+                stage_start = time.perf_counter()
                 result = operator.drain()
+                self.wall_seconds[name] += time.perf_counter() - stage_start
                 self._dispatch(name, result, pending)
         # Propagate items in topological order; within one operator items are
         # processed in FIFO order, which matches NiFi's queue semantics.
@@ -171,13 +184,16 @@ class DataflowEngine:
             if isinstance(operator, SourceOperator):
                 continue
             queue = pending[name]
+            stage_start = time.perf_counter()
             while queue:
                 item = queue.popleft()
                 result = operator.process(item)
                 self._dispatch(name, result, pending)
             flush = operator.on_finish()
+            self.wall_seconds[name] += time.perf_counter() - stage_start
             if flush.outputs or flush.cost_seconds:
                 self._dispatch(name, flush, pending)
+        self.last_run_wall_seconds = time.perf_counter() - run_start
         return {name: list(operator.items)
                 for name, operator in self._operators.items()
                 if isinstance(operator, SinkOperator)}
@@ -192,7 +208,11 @@ class DataflowEngine:
     # Reporting
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-operator processing statistics."""
+        """Per-operator processing statistics (simulated, deterministic).
+
+        Measured wall-clock timings live in :meth:`wall_stats` so this view
+        stays comparable across runs.
+        """
         return {
             name: {
                 "processed": float(operator.processed_items),
@@ -201,3 +221,11 @@ class DataflowEngine:
             }
             for name, operator in self._operators.items()
         }
+
+    def wall_stats(self) -> Dict[str, float]:
+        """Measured wall-clock seconds per operator for the last :meth:`run`.
+
+        The real-time counterpart of the simulated ``cost_seconds`` in
+        :meth:`stats`; empty before any run.
+        """
+        return dict(self.wall_seconds)

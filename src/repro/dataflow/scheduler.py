@@ -30,6 +30,7 @@ degenerate schedule in which nothing ever waits.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Deque, Dict, List, Mapping, Optional,
@@ -275,6 +276,9 @@ class ScheduledEngine:
         self.finish_time: Optional[float] = None
         self.sink_arrival_times: Dict[str, List[float]] = {}
         self.operator_stats: Dict[str, StationStats] = {}
+        #: Measured wall-clock seconds spent inside each operator's real
+        #: computation (as opposed to the simulated ``busy_seconds``).
+        self.operator_wall_seconds: Dict[str, float] = {}
         self._external_inputs = dict(external_inputs or {})
         self._states: Dict[str, _OperatorState] = {}
         self._open_operators = 0
@@ -301,6 +305,7 @@ class ScheduledEngine:
             upstreams = self.engine.upstreams(operator.name)
             self._states[operator.name] = _OperatorState(len(upstreams))
             self.operator_stats[operator.name] = StationStats()
+            self.operator_wall_seconds[operator.name] = 0.0
             if isinstance(operator, SinkOperator):
                 self.sink_arrival_times[operator.name] = []
         self._open_operators = len(self._states)
@@ -323,7 +328,10 @@ class ScheduledEngine:
     def _start_source(self, operator: SourceOperator) -> None:
         state = self._states[operator.name]
         state.busy = True
+        wall_start = time.perf_counter()
         result = operator.drain()
+        self.operator_wall_seconds[operator.name] += \
+            time.perf_counter() - wall_start
         self._charge(operator.name, result.cost_seconds)
         self.scheduler.schedule(
             result.cost_seconds,
@@ -354,12 +362,14 @@ class ScheduledEngine:
             outputs: List[Any] = []
             cost = 0.0
             served = 0
+            wall_start = time.perf_counter()
             while state.queue and served < batch:
                 item = state.queue.popleft()
                 result = operator.process(item)
                 outputs.extend(result.outputs)
                 cost += result.cost_seconds
                 served += 1
+            self.operator_wall_seconds[name] += time.perf_counter() - wall_start
             state.busy = True
             self._charge(name, cost)
             if isinstance(operator, SinkOperator):
@@ -385,7 +395,9 @@ class ScheduledEngine:
         operator = self.engine.operator(name)
         if not state.flushed and not isinstance(operator, SourceOperator):
             state.flushed = True
+            wall_start = time.perf_counter()
             flush = operator.on_finish()
+            self.operator_wall_seconds[name] += time.perf_counter() - wall_start
             if flush.outputs or flush.cost_seconds:
                 state.busy = True
                 self._charge(name, flush.cost_seconds)

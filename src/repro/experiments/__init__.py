@@ -1,9 +1,13 @@
 """Experiment harnesses regenerating every table and figure of the paper."""
 
 from . import figure3, figure4, figure5, table1, table2, table3
-from .common import ExperimentConfig, PreparedDataset, format_table, prepare_dataset
+from .common import (DATASET_CACHE_ENV, ExperimentConfig, PreparedDataset,
+                     clear_prepared_cache, dataset_cache_enabled, format_table,
+                     prepare_dataset, prepare_datasets)
 
 __all__ = [
     "figure3", "figure4", "figure5", "table1", "table2", "table3",
-    "ExperimentConfig", "PreparedDataset", "format_table", "prepare_dataset",
+    "DATASET_CACHE_ENV", "ExperimentConfig", "PreparedDataset",
+    "clear_prepared_cache", "dataset_cache_enabled", "format_table",
+    "prepare_dataset", "prepare_datasets",
 ]

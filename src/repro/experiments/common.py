@@ -80,19 +80,91 @@ class PreparedDataset:
         return self.instance.timeline
 
 
+#: In-process cache of prepared datasets, keyed by everything that affects
+#: the result (see :func:`_cache_key`).  Rendering a clip and running the
+#: analysis pass dominate harness start-up, yet Figures 3-5, Tables 1-3 and
+#: the examples all prepare the same clips — the cache makes every repeat
+#: preparation free.  Disable with ``REPRO_DATASET_CACHE=0``.
+_PREPARED_CACHE: Dict[tuple, PreparedDataset] = {}
+
+#: Environment variable that disables the prepared-dataset cache when set to
+#: ``0`` / ``false`` / ``off`` / ``no``.
+DATASET_CACHE_ENV = "REPRO_DATASET_CACHE"
+
+
+def dataset_cache_enabled() -> bool:
+    """Whether the prepared-dataset cache is active (honours the env var)."""
+    value = os.environ.get(DATASET_CACHE_ENV, "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
+def clear_prepared_cache() -> int:
+    """Drop every cached prepared dataset; returns how many were dropped."""
+    dropped = len(_PREPARED_CACHE)
+    _PREPARED_CACHE.clear()
+    return dropped
+
+
+def _cache_key(name: str, config: ExperimentConfig, split: str,
+               base_parameters: EncoderParameters) -> tuple:
+    """Content key of one prepared dataset.
+
+    Covers the rendered footage (dataset, split, duration, render scale) and
+    the analysis pass configuration (the encoder parameters), i.e. every
+    input :func:`prepare_dataset` derives its output from.
+    """
+    return (name, split, float(config.duration_seconds),
+            float(config.render_scale), base_parameters)
+
+
 def prepare_dataset(name: str, config: ExperimentConfig, split: str = "test",
                     base_parameters: EncoderParameters = EncoderParameters()
                     ) -> PreparedDataset:
-    """Render one dataset clip and run the codec analysis pass over it."""
+    """Render one dataset clip and run the codec analysis pass over it.
+
+    Results are cached in-process under a content key (dataset name, split,
+    duration, render scale, encoder parameters) and shared across every
+    harness; set ``REPRO_DATASET_CACHE=0`` to opt out.  Callers receive the
+    shared instance and must not mutate it.
+    """
+    if not dataset_cache_enabled():
+        return _prepare_dataset_uncached(name, config, split, base_parameters)
+    key = _cache_key(name, config, split, base_parameters)
+    prepared = _PREPARED_CACHE.get(key)
+    if prepared is None:
+        prepared = _prepare_dataset_uncached(name, config, split, base_parameters)
+        _PREPARED_CACHE[key] = prepared
+    return prepared
+
+
+#: Clips whose raw frames would exceed this stay lazily generated; at the
+#: default scales a dataset is a few tens of megabytes, but the env-driven
+#: high-fidelity scales (full resolution, minutes of footage) would run to
+#: gigabytes per dataset if materialised.
+MATERIALISE_LIMIT_BYTES = 256 * 1024 * 1024
+
+
+def _prepare_dataset_uncached(name: str, config: ExperimentConfig, split: str,
+                              base_parameters: EncoderParameters
+                              ) -> PreparedDataset:
     instance = build_dataset(name, duration_seconds=config.duration_seconds,
                              render_scale=config.render_scale, split=split)
+    # Materialise the synthetic clip when it fits comfortably in memory: the
+    # harnesses stream a prepared video several times (analysis, two
+    # encodes, the MSE baseline), and lazily generated frames would be
+    # re-rendered on every pass.
+    video = instance.video
+    if hasattr(video, "materialise"):
+        frame_bytes = video.frame(0).data.nbytes
+        if frame_bytes * video.metadata.num_frames <= MATERIALISE_LIMIT_BYTES:
+            instance.video = video.materialise()
     activities = VideoEncoder(base_parameters).analyze(instance.video)
     return PreparedDataset(instance=instance, activities=activities)
 
 
 def prepare_datasets(config: ExperimentConfig, split: str = "test"
                      ) -> Dict[str, PreparedDataset]:
-    """Prepare every dataset named in ``config``."""
+    """Prepare every dataset named in ``config`` (through the cache)."""
     return {name: prepare_dataset(name, config, split) for name in config.datasets}
 
 

@@ -8,13 +8,18 @@ inference engine: convolution (via im2col), pooling, dense layers and the
 usual activations, each reporting its parameter count, FLOPs and output size
 — the quantities the deployment service's partitioning algorithm needs.
 
-Tensors follow the ``(channels, height, width)`` layout for feature maps and
-plain vectors for dense layers.
+Feature maps follow the ``(channels, height, width)`` layout and dense
+activations are plain vectors.  Every layer also accepts a leading batch
+dimension — ``(batch, channels, height, width)`` feature maps and
+``(batch, features)`` vectors — and processes the whole batch in one
+vectorised pass; a single example always goes through the same batched code
+path (as a batch of one), so batched and per-example inference are exactly
+equal.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -22,6 +27,12 @@ from ..errors import ModelError
 from ..rng import make_rng
 
 Shape = Tuple[int, ...]
+
+#: Target size of the convolution im2col buffer; batches whose column matrix
+#: would exceed this are processed in chunks so the working set stays inside
+#: the CPU cache (a 30+ MB buffer made batched inference slower than
+#: per-example inference).
+_CONV_BUFFER_BYTES = 4 * 1024 * 1024
 
 
 class Layer:
@@ -36,11 +47,11 @@ class Layer:
     name: str = "layer"
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Compute the layer output for a single example."""
+        """Compute the layer output for one example or a leading-axis batch."""
         raise NotImplementedError
 
     def output_shape(self, input_shape: Shape) -> Shape:
-        """Shape of the output given an input shape."""
+        """Shape of the output given a (single-example) input shape."""
         raise NotImplementedError
 
     @property
@@ -60,11 +71,21 @@ class Layer:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-def _check_feature_map(inputs: np.ndarray, layer_name: str) -> None:
-    if inputs.ndim != 3:
-        raise ModelError(
-            f"{layer_name} expects a (channels, height, width) tensor, "
-            f"got shape {inputs.shape}")
+def _as_batched_maps(inputs: np.ndarray, layer_name: str
+                     ) -> Tuple[np.ndarray, bool]:
+    """Normalise a feature-map input to ``(batch, C, H, W)``.
+
+    Returns the batched view plus whether the caller passed a batch (so the
+    result can be un-batched on the way out).
+    """
+    inputs = np.asarray(inputs)
+    if inputs.ndim == 3:
+        return inputs[None], False
+    if inputs.ndim == 4:
+        return inputs, True
+    raise ModelError(
+        f"{layer_name} expects a (channels, height, width) tensor or a "
+        f"(batch, channels, height, width) batch, got shape {inputs.shape}")
 
 
 class Conv2D(Layer):
@@ -124,27 +145,43 @@ class Conv2D(Layer):
         return int(self.out_channels * out_h * out_w * per_output)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        _check_feature_map(inputs, self.name)
-        channels, height, width = inputs.shape
-        out_channels, out_h, out_w = self.output_shape(inputs.shape)
+        inputs, batched = _as_batched_maps(inputs, self.name)
+        batch, channels, height, width = inputs.shape
+        out_channels, out_h, out_w = self.output_shape((channels, height, width))
         pad = self._pad_amount()
         if pad:
-            inputs = np.pad(inputs, ((0, 0), (pad, pad), (pad, pad)))
+            inputs = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
         k = self.kernel_size
         stride = self.stride
-        # im2col: gather every receptive field into a column.
-        columns = np.empty((channels * k * k, out_h * out_w))
-        column = 0
-        for row in range(out_h):
-            top = row * stride
-            patch_rows = inputs[:, top:top + k, :]
-            for col in range(out_w):
-                left = col * stride
-                columns[:, column] = patch_rows[:, :, left:left + k].ravel()
-                column += 1
         kernel_matrix = self.weights.reshape(out_channels, -1)
-        output = kernel_matrix @ columns + self.bias[:, None]
-        return output.reshape(out_channels, out_h, out_w)
+        output = np.empty((batch, out_channels, out_h, out_w))
+        # Batched im2col in (chunk, C*k*k, positions) layout: one strided
+        # copy per kernel tap (k² of them) with contiguous writes, no big
+        # permutation afterwards — the reshape below is a view.  The batch is
+        # processed in chunks that keep the column buffer inside the cache;
+        # chunking cannot change results because every example is multiplied
+        # by one identically-shaped GEMM either way (which is also what keeps
+        # batched results exactly equal to per-example results).
+        per_example = channels * k * k * out_h * out_w * 8
+        chunk_size = max(int(_CONV_BUFFER_BYTES // max(per_example, 1)), 1)
+        out_matrix = output.reshape(batch, out_channels, out_h * out_w)
+        for start in range(0, batch, chunk_size):
+            chunk = inputs[start:start + chunk_size]
+            columns = np.empty((chunk.shape[0], channels, k, k, out_h, out_w))
+            for tap_y in range(k):
+                for tap_x in range(k):
+                    columns[:, :, tap_y, tap_x] = chunk[
+                        :, :,
+                        tap_y:tap_y + out_h * stride:stride,
+                        tap_x:tap_x + out_w * stride:stride]
+            column_matrix = columns.reshape(
+                chunk.shape[0], channels * k * k, out_h * out_w)
+            out_chunk = out_matrix[start:start + chunk_size]
+            np.matmul(kernel_matrix[None], column_matrix, out=out_chunk)
+            # Bias is added per chunk while the output slice is cache-hot; a
+            # whole-batch add afterwards would re-traverse the full array.
+            out_chunk += self.bias[:, None]
+        return output if batched else output[0]
 
 
 class ReLU(Layer):
@@ -180,14 +217,24 @@ class MaxPool2D(Layer):
         return int(np.prod(self.output_shape(input_shape))) * self.pool_size ** 2
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        _check_feature_map(inputs, self.name)
-        channels, height, width = inputs.shape
+        inputs, batched = _as_batched_maps(inputs, self.name)
+        batch, channels, height, width = inputs.shape
         p = self.pool_size
         out_h, out_w = height // p, width // p
         if out_h == 0 or out_w == 0:
-            raise ModelError(f"{self.name}: input {inputs.shape} too small to pool")
-        trimmed = inputs[:, :out_h * p, :out_w * p]
-        return trimmed.reshape(channels, out_h, p, out_w, p).max(axis=(2, 4))
+            raise ModelError(f"{self.name}: input {inputs.shape[1:]} too small to pool")
+        trimmed = inputs[:, :, :out_h * p, :out_w * p]
+        # Elementwise maximum over the p² tap slices instead of a reduction
+        # over two tiny axes — numpy's reduce machinery costs more per
+        # element than the comparison itself for short axes.  Exactly equal,
+        # since max is order-independent.
+        output = trimmed[:, :, ::p, ::p].copy()
+        for tap_y in range(p):
+            for tap_x in range(p):
+                if tap_y or tap_x:
+                    np.maximum(output, trimmed[:, :, tap_y::p, tap_x::p],
+                               out=output)
+        return output if batched else output[0]
 
 
 class GlobalAveragePool(Layer):
@@ -203,12 +250,13 @@ class GlobalAveragePool(Layer):
         return int(np.prod(input_shape))
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        _check_feature_map(inputs, self.name)
-        return inputs.mean(axis=(1, 2))
+        inputs, batched = _as_batched_maps(inputs, self.name)
+        output = inputs.mean(axis=(2, 3))
+        return output if batched else output[0]
 
 
 class Flatten(Layer):
-    """Flatten a feature map into a vector."""
+    """Flatten a feature map into a vector (per example in a batch)."""
 
     def __init__(self, name: str = "flatten") -> None:
         self.name = name
@@ -217,7 +265,18 @@ class Flatten(Layer):
         return (int(np.prod(input_shape)),)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        return np.asarray(inputs).ravel()
+        inputs = np.asarray(inputs)
+        if inputs.ndim >= 3:
+            # A single feature map stays 3-D; anything higher-rank carries a
+            # leading batch axis.
+            if inputs.ndim == 3:
+                return inputs.ravel()
+            return inputs.reshape(inputs.shape[0], -1)
+        if inputs.ndim == 2:
+            # (batch, features): already flat per example — keep the batch
+            # axis so batched and per-example pipelines stay equivalent.
+            return inputs
+        return inputs.ravel()
 
 
 class Dense(Layer):
@@ -249,15 +308,27 @@ class Dense(Layer):
         return self.in_features * self.out_features
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        vector = np.asarray(inputs).ravel()
-        if vector.size != self.in_features:
+        inputs = np.asarray(inputs)
+        if inputs.ndim == 2 and inputs.shape[1] == self.in_features:
+            vectors, batched = inputs, True
+        elif inputs.size == self.in_features:
+            # A single example in any shape (the original implementation
+            # ravelled multi-dimensional inputs, e.g. a conv feature map fed
+            # straight into a dense layer without a Flatten).
+            vectors, batched = inputs.reshape(1, -1), False
+        else:
             raise ModelError(
-                f"{self.name}: expected {self.in_features} inputs, got {vector.size}")
-        return self.weights @ vector + self.bias
+                f"{self.name}: expected {self.in_features} inputs or a "
+                f"(batch, {self.in_features}) batch, got shape {inputs.shape}")
+        # One identically-shaped (1, in) @ (in, out) product per example, so
+        # batched results are exactly equal to per-example results (a single
+        # merged GEMM may round differently).
+        output = (vectors[:, None, :] @ self.weights.T)[:, 0, :] + self.bias
+        return output if batched else output[0]
 
 
 class Softmax(Layer):
-    """Numerically stable softmax over a vector."""
+    """Numerically stable softmax over a vector (row-wise for batches)."""
 
     def __init__(self, name: str = "softmax") -> None:
         self.name = name
@@ -269,7 +340,14 @@ class Softmax(Layer):
         return 3 * int(np.prod(input_shape))
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        vector = np.asarray(inputs, dtype=np.float64).ravel()
-        shifted = vector - vector.max()
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == 2:
+            vectors, batched = inputs, True
+        else:
+            # Any other rank is one example; the original implementation
+            # ravelled multi-dimensional single inputs, so keep doing that.
+            vectors, batched = inputs.reshape(1, -1), False
+        shifted = vectors - vectors.max(axis=1, keepdims=True)
         exponentials = np.exp(shifted)
-        return exponentials / exponentials.sum()
+        output = exponentials / exponentials.sum(axis=1, keepdims=True)
+        return output if batched else output[0]

@@ -119,7 +119,7 @@ class SequentialModel:
     # Inference
     # ------------------------------------------------------------------ #
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Run a full forward pass on a single example."""
+        """Run a full forward pass on one example or a leading-axis batch."""
         return self.forward_range(inputs, 0, self.num_layers)
 
     def forward_range(self, inputs: np.ndarray, start: int, stop: int) -> np.ndarray:
@@ -129,16 +129,21 @@ class SequentialModel:
         runs ``forward_range(x, 0, split)`` and ships the intermediate
         activation to the cloud engine, which runs
         ``forward_range(activation, split, num_layers)``.
+
+        ``inputs`` may be one activation of the expected shape or a batch of
+        them with one extra leading axis; a batch flows through every layer's
+        vectorised path in one go.
         """
         if not 0 <= start <= stop <= self.num_layers:
             raise ModelError(
                 f"invalid layer range [{start}, {stop}) for {self.num_layers} layers")
         activation = np.asarray(inputs, dtype=np.float64)
-        expected = self._shapes[start]
-        if tuple(activation.shape) != tuple(expected):
+        expected = tuple(self._shapes[start])
+        shape = tuple(activation.shape)
+        if shape != expected and shape[1:] != expected:
             raise ModelError(
-                f"layer {start} expects input of shape {expected}, "
-                f"got {activation.shape}")
+                f"layer {start} expects input of shape {expected} "
+                f"(or a (batch, *{expected}) batch), got {activation.shape}")
         for index in range(start, stop):
             activation = self.layers[index].forward(activation)
         return activation
@@ -148,6 +153,26 @@ class SequentialModel:
         output = self.forward(inputs)
         vector = np.asarray(output).ravel()
         return int(np.argmax(vector)), vector
+
+    def predict_classes(self, batch: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`predict_class`.
+
+        Args:
+            batch: Batch of inputs with one extra leading axis.
+
+        Returns:
+            ``(indices, outputs)`` — the per-example argmax indices of shape
+            ``(batch,)`` and the raw output matrix of shape
+            ``(batch, *output_shape)``.
+        """
+        batch = np.asarray(batch, dtype=np.float64)
+        if tuple(batch.shape[1:]) != tuple(self.input_shape):
+            raise ModelError(
+                f"predict_classes expects a (batch, *{self.input_shape}) "
+                f"array, got {batch.shape}")
+        outputs = self.forward(batch)
+        matrix = outputs.reshape(batch.shape[0], -1)
+        return np.argmax(matrix, axis=1), outputs
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid.
         return (f"SequentialModel(name={self.name!r}, layers={self.num_layers}, "

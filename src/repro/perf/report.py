@@ -1,0 +1,129 @@
+"""Machine-readable benchmark reports (``BENCH_*.json``).
+
+Every benchmark harness builds a :class:`BenchReport`, records named
+measurements into it, and writes the report at the end of the run.  Written
+files hold a JSON list of run records so the repository's perf trajectory
+accumulates over time: each ``write`` appends one record carrying the run's
+environment scale, the measurements, and derived speedup ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+#: Maximum number of run records kept per bench file; older runs roll off so
+#: the committed baselines stay reviewable.
+MAX_RUNS_PER_FILE = 50
+
+
+@dataclass
+class BenchEntry:
+    """One measurement inside a bench report.
+
+    Attributes:
+        name: Measurement name, e.g. ``"entropy_encode.vectorized"``.
+        value: Measured value.
+        unit: Unit of ``value`` (``"seconds"``, ``"items_per_second"``, ...).
+        params: Free-form parameters describing the measured workload
+            (sizes, batch counts, ...), kept JSON-serialisable.
+    """
+
+    name: str
+    value: float
+    unit: str = "seconds"
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+class BenchReport:
+    """Collects measurements of one benchmark run and writes them to JSON.
+
+    Args:
+        name: Report name; the default output file is ``BENCH_<name>.json``.
+        context: Extra run-level context recorded alongside the entries
+            (footage scale, git revision, ...).
+    """
+
+    def __init__(self, name: str,
+                 context: Optional[Dict[str, object]] = None) -> None:
+        if not name:
+            raise ValueError("bench report name must be non-empty")
+        self.name = name
+        self.context: Dict[str, object] = dict(context or {})
+        self.entries: List[BenchEntry] = []
+
+    def record(self, name: str, value: float, unit: str = "seconds",
+               **params: object) -> BenchEntry:
+        """Add one measurement and return it."""
+        entry = BenchEntry(name=name, value=float(value), unit=unit,
+                           params=dict(params))
+        self.entries.append(entry)
+        return entry
+
+    def record_speedup(self, name: str, baseline_seconds: float,
+                       optimised_seconds: float, **params: object) -> BenchEntry:
+        """Record a before/after pair plus the derived speedup ratio."""
+        self.record(f"{name}.baseline", baseline_seconds, "seconds", **params)
+        self.record(f"{name}.optimised", optimised_seconds, "seconds", **params)
+        ratio = (baseline_seconds / optimised_seconds
+                 if optimised_seconds > 0 else float("inf"))
+        return self.record(f"{name}.speedup", ratio, "ratio", **params)
+
+    def value_of(self, name: str) -> float:
+        """Value of the most recently recorded entry called ``name``."""
+        for entry in reversed(self.entries):
+            if entry.name == name:
+                return entry.value
+        raise KeyError(f"no bench entry named {name!r}")
+
+    def as_run_record(self) -> Dict[str, object]:
+        """This run as one JSON-serialisable record."""
+        return {
+            "report": self.name,
+            "python": platform.python_version(),
+            "context": self.context,
+            "entries": [asdict(entry) for entry in self.entries],
+        }
+
+    def default_path(self, directory: str = ".") -> str:
+        """The conventional output path ``<directory>/BENCH_<name>.json``."""
+        return os.path.join(directory, f"BENCH_{self.name}.json")
+
+    def write(self, path: Optional[str] = None,
+              max_runs: int = MAX_RUNS_PER_FILE) -> str:
+        """Append this run's record to ``path`` (created when missing).
+
+        The file holds a JSON list of run records, newest last; corrupt or
+        non-list contents are replaced rather than crashing the benchmark.
+
+        Returns:
+            The path written.
+        """
+        path = path or self.default_path()
+        runs: List[Dict[str, object]] = []
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    existing = json.load(handle)
+                if isinstance(existing, list):
+                    runs = existing
+            except (json.JSONDecodeError, OSError):
+                runs = []
+        runs.append(self.as_run_record())
+        runs = runs[-max_runs:]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(runs, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def load_bench_runs(path: str) -> List[Dict[str, object]]:
+    """Read a ``BENCH_*.json`` file back into its list of run records."""
+    with open(path, "r", encoding="utf-8") as handle:
+        runs = json.load(handle)
+    if not isinstance(runs, list):
+        raise ValueError(f"{path} does not contain a JSON list of bench runs")
+    return runs
