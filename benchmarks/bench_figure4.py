@@ -2,14 +2,16 @@
 
 Besides the pytest-benchmark timing, the harness records its end-to-end
 wall-clock into ``BENCH_figure4.json``: the cold workload build (rendering,
-analysis, tuning, encoding), the warm rebuild through the prepared-dataset
-cache, and the deployment replay itself.
+analysis, tuning, encoding), the warm rebuild through the in-process
+prepared-dataset cache, the warm rebuild through the *on-disk* cache (what
+a second Python session pays), and the deployment replay itself.
 """
 
 import pytest
 
 from repro.core import DeploymentMode
 from repro.experiments import figure4, prepare_dataset
+from repro.experiments.common import clear_prepared_cache
 from repro.perf import Stopwatch
 
 
@@ -31,6 +33,22 @@ def workloads(bench_config_small, figure4_report):
         prepare_dataset("jackson_square", bench_config_small, split="full")
     figure4_report.record("prepare_dataset.warm_cached", warm.elapsed_seconds,
                           "seconds", datasets=1)
+    # Drop the in-process layer and rebuild everything through the on-disk
+    # cache: this is what a *new* Python session (a second pytest run, a CI
+    # re-run with a persistent REPRO_CACHE_DIR) pays instead of the cold
+    # build — no rendering, no tuning, no encodes.
+    clear_prepared_cache()
+    with Stopwatch() as disk_warm:
+        rebuilt = figure4.build_workloads(bench_config_small)
+    figure4_report.record("prepare_workload.warm_disk",
+                          disk_warm.elapsed_seconds, "seconds",
+                          datasets=len(rebuilt))
+    # The cold/warm ratio is the machine-relative view the CI gate relies
+    # on: both sides ran on the same hardware, so a collapse of the ratio
+    # means the cache stopped working, not that the runner was slow.
+    figure4_report.record_speedup("workload_cache", cold.elapsed_seconds,
+                                  disk_warm.elapsed_seconds,
+                                  datasets=len(rebuilt))
     return built
 
 

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail the build when a bench report regresses.
+
+Compares the most recent run record of a freshly emitted ``BENCH_*.json``
+against the most recent run of the committed baseline copy and fails
+(exit code 1) when any gated measurement regresses by more than the
+allowed fraction — by default 30 %, configurable per section.
+
+Gated measurements:
+
+* ``seconds`` entries (higher is worse), excluding ``*.baseline`` probes
+  (they time the retained reference implementations, which are expected to
+  be slow) and entries whose baseline is below the noise floor
+  (``--min-seconds``);
+* ``items_per_second`` throughputs (lower is worse);
+* ``ratio`` speedups (lower is worse) — these compare the optimised path
+  against the reference *on the same machine*, so they stay meaningful
+  even when the CI runner's absolute speed differs from the machine that
+  recorded the committed baseline.
+
+A markdown delta table is printed to stdout and appended to
+``$GITHUB_STEP_SUMMARY`` when set, so the gate's reasoning shows up in the
+job summary.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/baselines/BENCH_hotpaths.json \
+        --current BENCH_hotpaths.json \
+        --default-tolerance 0.30 \
+        --tolerance nn_inference=0.60 --tolerance scheduler_event_loop=0.50
+
+The *section* of an entry is its name up to the first dot
+(``entropy_encode.optimised`` -> ``entropy_encode``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+#: Default allowed regression fraction (0.30 = 30 %).
+DEFAULT_TOLERANCE = 0.30
+
+#: ``seconds`` entries whose baseline is below this are skipped: at
+#: sub-millisecond scale the scheduler jitter of a shared CI runner
+#: dwarfs any real change.
+DEFAULT_MIN_SECONDS = 0.005
+
+#: Entry-name suffixes never gated (reference-implementation probes).
+UNGATED_SUFFIXES = (".baseline",)
+
+
+@dataclass
+class Delta:
+    """The comparison of one bench entry between baseline and current.
+
+    Attributes:
+        name: Entry name.
+        section: Entry section (name up to the first dot).
+        unit: Entry unit.
+        baseline: Baseline value.
+        current: Current value.
+        regression: Signed regression fraction (positive = worse).
+        tolerance: Allowed regression fraction for the section.
+        gated: Whether this entry can fail the build.
+        skip_reason: Why the entry is not gated (empty when gated).
+    """
+
+    name: str
+    section: str
+    unit: str
+    baseline: float
+    current: float
+    regression: float
+    tolerance: float
+    gated: bool
+    skip_reason: str = ""
+
+    @property
+    def failed(self) -> bool:
+        """Whether this entry regresses beyond its tolerance."""
+        return self.gated and self.regression > self.tolerance
+
+
+def latest_run(path: str) -> Dict[str, object]:
+    """The newest run record of a ``BENCH_*.json`` trajectory file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        runs = json.load(handle)
+    if not isinstance(runs, list) or not runs:
+        raise ValueError(f"{path} holds no bench run records")
+    return runs[-1]
+
+
+def entry_values(run: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    """``{entry name: entry}`` for one run record (last wins on duplicates)."""
+    return {str(entry["name"]): entry for entry in run.get("entries", [])}
+
+
+def section_of(name: str) -> str:
+    """The tolerance section of an entry (name up to the first dot)."""
+    return name.split(".", 1)[0]
+
+
+def compare_runs(baseline_run: Dict[str, object],
+                 current_run: Dict[str, object],
+                 tolerances: Optional[Dict[str, float]] = None,
+                 default_tolerance: float = DEFAULT_TOLERANCE,
+                 min_seconds: float = DEFAULT_MIN_SECONDS) -> List[Delta]:
+    """Compare two run records entry by entry.
+
+    Entries present in only one of the runs are ignored (new measurements
+    gate from their second recorded run onward).
+    """
+    tolerances = tolerances or {}
+    baseline_entries = entry_values(baseline_run)
+    current_entries = entry_values(current_run)
+    deltas: List[Delta] = []
+    for name in sorted(set(baseline_entries) & set(current_entries)):
+        base_entry = baseline_entries[name]
+        unit = str(base_entry.get("unit", ""))
+        base = float(base_entry["value"])
+        current = float(current_entries[name]["value"])
+        section = section_of(name)
+        tolerance = float(tolerances.get(section, default_tolerance))
+        if unit == "seconds":
+            regression = (current - base) / base if base > 0 else 0.0
+        elif unit in ("items_per_second", "ratio"):
+            regression = (base - current) / base if base > 0 else 0.0
+        else:
+            regression = 0.0
+        gated, skip_reason = True, ""
+        if any(name.endswith(suffix) for suffix in UNGATED_SUFFIXES):
+            gated, skip_reason = False, "reference probe"
+        elif unit == "seconds" and base < min_seconds:
+            gated, skip_reason = False, f"below {min_seconds:g}s floor"
+        elif unit not in ("seconds", "items_per_second", "ratio"):
+            gated, skip_reason = False, f"unit {unit!r} not gated"
+        deltas.append(Delta(name=name, section=section, unit=unit,
+                            baseline=base, current=current,
+                            regression=regression, tolerance=tolerance,
+                            gated=gated, skip_reason=skip_reason))
+    return deltas
+
+
+def render_markdown(deltas: Sequence[Delta], title: str) -> str:
+    """The delta table as GitHub-flavoured markdown."""
+    lines = [f"### Perf gate: {title}", ""]
+    lines.append("| status | metric | unit | baseline | current | delta | "
+                 "limit |")
+    lines.append("| --- | --- | --- | ---: | ---: | ---: | ---: |")
+    for delta in deltas:
+        if delta.failed:
+            status = "❌ regressed"
+        elif not delta.gated:
+            status = f"⚪ skipped ({delta.skip_reason})"
+        else:
+            status = "✅ ok"
+        limit = f"{delta.tolerance * 100:.0f}%" if delta.gated else "—"
+        lines.append(
+            f"| {status} | `{delta.name}` | {delta.unit} "
+            f"| {delta.baseline:.5g} | {delta.current:.5g} "
+            f"| {delta.regression * 100:+.1f}% | {limit} |")
+    failed = [delta for delta in deltas if delta.failed]
+    lines.append("")
+    if failed:
+        lines.append(f"**{len(failed)} measurement(s) regressed beyond "
+                     f"tolerance.**")
+    else:
+        lines.append("All gated measurements within tolerance.")
+    return "\n".join(lines)
+
+
+def parse_tolerances(items: Sequence[str]) -> Dict[str, float]:
+    """Parse repeated ``--tolerance section=fraction`` options."""
+    tolerances: Dict[str, float] = {}
+    for item in items:
+        section, _, value = item.partition("=")
+        if not section or not value:
+            raise argparse.ArgumentTypeError(
+                f"expected SECTION=FRACTION, got {item!r}")
+        tolerances[section.strip()] = float(value)
+    return tolerances
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH_*.json report regresses vs baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted BENCH_*.json")
+    parser.add_argument("--default-tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed regression fraction (default 0.30)")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="SECTION=FRACTION",
+                        help="per-section tolerance override (repeatable)")
+    parser.add_argument("--min-seconds", type=float,
+                        default=DEFAULT_MIN_SECONDS,
+                        help="noise floor below which seconds entries are "
+                             "skipped (default 0.005)")
+    arguments = parser.parse_args(argv)
+
+    deltas = compare_runs(
+        latest_run(arguments.baseline), latest_run(arguments.current),
+        tolerances=parse_tolerances(arguments.tolerance),
+        default_tolerance=arguments.default_tolerance,
+        min_seconds=arguments.min_seconds)
+    markdown = render_markdown(
+        deltas, os.path.basename(arguments.current))
+    print(markdown)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n\n")
+    if not any(delta.gated for delta in deltas):
+        # A gate that gates nothing is not green, it is broken: renamed
+        # bench entries or an empty intersection must fail loudly rather
+        # than silently disabling the regression check.
+        print("ERROR: no gated measurements — baseline and current runs "
+              "share no comparable gated entries", file=sys.stderr)
+        return 1
+    return 1 if any(delta.failed for delta in deltas) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

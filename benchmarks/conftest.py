@@ -36,6 +36,22 @@ def _logging():
     configure_logging()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _cold_cache_dir(tmp_path_factory):
+    """Run every benchmark session against a fresh ``REPRO_CACHE_DIR``.
+
+    The recorded "cold" timings must measure real renders/encodes, not
+    whatever happens to sit in the developer's warm user-level cache —
+    otherwise committed baselines would not be comparable with CI's fresh
+    runners and the perf gate would misfire.  Warm-hit costs are measured
+    explicitly (``prepare_workload.warm_disk`` in ``bench_figure4``)
+    against this same per-session directory.
+    """
+    from repro.datasets.diskcache import temporary_cache_dir
+    with temporary_cache_dir(tmp_path_factory.mktemp("bench-cache")):
+        yield
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
     """Footage scale shared by all benchmark harnesses."""

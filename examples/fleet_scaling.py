@@ -11,16 +11,26 @@ per-tier utilisation, WAN queue depths and end-to-end latency percentiles.
 With one edge server the fleet degenerates to the paper's testbed; adding
 edge servers must never reduce aggregate throughput (the sweep asserts it).
 
-Run with:  python examples/fleet_scaling.py
+The ``--workers`` axis executes the same sweep through the multiprocess
+fleet layer (``SystemConfig.fleet_workers``): per-edge pipelines are
+simulated in worker processes and merged deterministically, and the example
+asserts every report matches the single-process run to the 1e-6 contract.
+Table I workloads come from the shared on-disk cache (``REPRO_CACHE_DIR``),
+so a second run skips rendering and tuning entirely.
+
+Run with:  python examples/fleet_scaling.py [--workers 1,2,4]
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro import SystemConfig
 from repro.cluster import FleetOrchestrator, PlacementPolicy
 from repro.core import DeploymentMode, build_workload, plan_camera_job
-from repro.datasets import ALL_DATASETS, DatasetSpec, build_dataset
+from repro.datasets import ALL_DATASETS, DatasetSpec
 from repro.datasets.generator import DatasetInstance
+from repro.experiments import ExperimentConfig, prepare_workload
 from repro.logging_utils import configure_logging
 from repro.video import RESOLUTION_720P, SyntheticScene, make_scenario
 
@@ -34,6 +44,10 @@ EDGE_COUNTS = (1, 2, 4, 8)
 DURATION_SECONDS = 12.0
 RENDER_SCALE = 0.06
 
+#: Reports across worker counts must agree to this tolerance (they are in
+#: practice bit-identical; the bound matches the serial regression contract).
+TOLERANCE = 1e-6
+
 #: The ``highway`` scenario is not in Table I; this spec gives it the same
 #: nominal-resolution cost accounting the registry datasets get.
 HIGHWAY_SPEC = DatasetSpec(
@@ -43,12 +57,18 @@ HIGHWAY_SPEC = DatasetSpec(
 
 
 def build_fleet_workloads(config: SystemConfig):
-    """One workload per distinct feed: the five Table I datasets + highway."""
-    workloads = []
-    for name in ALL_DATASETS:
-        instance = build_dataset(name, duration_seconds=DURATION_SECONDS,
-                                 render_scale=RENDER_SCALE)
-        workloads.append(build_workload(instance, config=config))
+    """One workload per distinct feed: the five Table I datasets + highway.
+
+    Table I feeds go through the shared workload cache (in-process + disk
+    under ``REPRO_CACHE_DIR``); the ad-hoc highway scenario is built
+    directly since it has no registry entry to key a cache artifact on.
+    """
+    experiment_config = ExperimentConfig(
+        duration_seconds=DURATION_SECONDS, render_scale=RENDER_SCALE,
+        datasets=tuple(ALL_DATASETS))
+    workloads = [prepare_workload(name, experiment_config, split="full",
+                                  system_config=config)
+                 for name in ALL_DATASETS]
     profile = make_scenario("highway", duration_seconds=DURATION_SECONDS,
                             render_scale=RENDER_SCALE)
     instance = DatasetInstance(spec=HIGHWAY_SPEC, profile=profile,
@@ -57,7 +77,69 @@ def build_fleet_workloads(config: SystemConfig):
     return workloads
 
 
+def run_sweep(jobs, config: SystemConfig, fleet_workers: int,
+              verbose: bool = True):
+    """Run the edges x policies sweep; returns ``{(policy, edges): report}``."""
+    header = (f"{'edges':>5} {'policy':<16} {'makespan s':>10} {'fps':>9} "
+              f"{'edge util':>9} {'cloud util':>10} {'wan q':>5} "
+              f"{'p50 s':>7} {'p95 s':>7} {'p99 s':>7} {'wall ms':>8}")
+    if verbose:
+        print(header)
+        print("-" * len(header))
+    reports = {}
+    for policy in PlacementPolicy:
+        previous_fps = 0.0
+        for num_edges in EDGE_COUNTS:
+            report = FleetOrchestrator(jobs, num_edge_servers=num_edges,
+                                       config=config, policy=policy,
+                                       fleet_workers=fleet_workers).run()
+            reports[(policy.value, num_edges)] = report
+            fps = report.aggregate_throughput_fps
+            if verbose:
+                print(f"{num_edges:>5} {policy.value:<16} "
+                      f"{report.makespan_seconds:>10.2f} {fps:>9.1f} "
+                      f"{report.mean_edge_utilisation:>9.2f} "
+                      f"{report.cloud_tier.utilisation:>10.2f} "
+                      f"{report.max_wan_queue_depth:>5d} "
+                      f"{report.latency_percentiles[50]:>7.2f} "
+                      f"{report.latency_percentiles[95]:>7.2f} "
+                      f"{report.latency_percentiles[99]:>7.2f} "
+                      f"{report.sim_wall_seconds * 1e3:>8.1f}")
+            if fps + 1e-9 < previous_fps:
+                raise AssertionError(
+                    f"throughput regressed under {policy.value} at "
+                    f"{num_edges} edges: {fps:.1f} < {previous_fps:.1f} fps")
+            previous_fps = fps
+        if verbose:
+            print()
+    return reports
+
+
+def assert_reports_match(baseline, candidate, workers: int) -> None:
+    """Every metric of every report must match the single-process run."""
+    for key, report in baseline.items():
+        mismatches = report.parity_mismatches(candidate[key], TOLERANCE)
+        if mismatches:
+            raise AssertionError(
+                f"fleet_workers={workers} diverged at {key}: "
+                + "; ".join(mismatches))
+
+
+def parse_workers(spec: str):
+    counts = sorted({int(part) for part in spec.split(",") if part.strip()})
+    if not counts or counts[0] < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers needs positive worker counts, got {spec!r}")
+    return counts
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=parse_workers, default=[1],
+        help="comma-separated fleet_workers counts to sweep (default: 1); "
+             "multi-process runs are asserted equal to the serial run")
+    arguments = parser.parse_args()
     configure_logging()
     config = SystemConfig()
     mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
@@ -75,31 +157,20 @@ def main() -> None:
           f"{sum(job.edge_seconds for job in jobs):.1f} s edge work, "
           f"{sum(job.cloud_seconds for job in jobs):.1f} s cloud work\n")
 
-    header = (f"{'edges':>5} {'policy':<16} {'makespan s':>10} {'fps':>9} "
-              f"{'edge util':>9} {'cloud util':>10} {'wan q':>5} "
-              f"{'p50 s':>7} {'p95 s':>7} {'p99 s':>7}")
-    print(header)
-    print("-" * len(header))
-    for policy in PlacementPolicy:
-        previous_fps = 0.0
-        for num_edges in EDGE_COUNTS:
-            report = FleetOrchestrator(jobs, num_edge_servers=num_edges,
-                                       config=config, policy=policy).run()
-            fps = report.aggregate_throughput_fps
-            print(f"{num_edges:>5} {policy.value:<16} "
-                  f"{report.makespan_seconds:>10.2f} {fps:>9.1f} "
-                  f"{report.mean_edge_utilisation:>9.2f} "
-                  f"{report.cloud_tier.utilisation:>10.2f} "
-                  f"{report.max_wan_queue_depth:>5d} "
-                  f"{report.latency_percentiles[50]:>7.2f} "
-                  f"{report.latency_percentiles[95]:>7.2f} "
-                  f"{report.latency_percentiles[99]:>7.2f}")
-            if fps + 1e-9 < previous_fps:
-                raise AssertionError(
-                    f"throughput regressed under {policy.value} at "
-                    f"{num_edges} edges: {fps:.1f} < {previous_fps:.1f} fps")
-            previous_fps = fps
-        print()
+    worker_counts = list(arguments.workers)
+    if worker_counts[0] != 1:
+        worker_counts.insert(0, 1)  # the parity baseline
+    baseline = None
+    for workers in worker_counts:
+        print(f"=== fleet_workers={workers} ===")
+        reports = run_sweep(jobs, config, workers)
+        if baseline is None:
+            baseline = reports
+        else:
+            assert_reports_match(baseline, reports, workers)
+            print(f"fleet_workers={workers}: all "
+                  f"{len(reports)} reports match the single-process run "
+                  f"(<= {TOLERANCE:g}).\n")
     print("Aggregate throughput is monotonically non-decreasing in the "
           "number of edge servers for every placement policy.")
 

@@ -9,7 +9,7 @@ per-stage work and charge simulated time to the cloud node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 from ..codec.bitstream import EncodedFrame, EncodedVideo
 from ..codec.iframe_seeker import IFrameSeeker, SeekResult

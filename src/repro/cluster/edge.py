@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Tuple
 
 from ..codec.bitstream import EncodedFrame, EncodedVideo
 from ..codec.iframe_seeker import IFrameSeeker, SeekResult

@@ -241,6 +241,63 @@ class FleetReport:
             row[f"latency_p{percentile}_seconds"] = value
         return row
 
+    def parity_mismatches(self, other: "FleetReport",
+                          tolerance: float = 1e-6) -> List[str]:
+        """Every way ``other`` differs from this report beyond ``tolerance``.
+
+        This is the single definition of the multiprocess parity contract
+        (used by the regression tests and ``examples/fleet_scaling.py``):
+        it covers the flat ``as_dict`` metrics, per-tier statistics
+        *including queue depths*, placements and per-job timelines.  An
+        empty list means the reports are equal.
+        """
+        def close(a: float, b: float) -> bool:
+            if np.isnan(a) or np.isnan(b):
+                return np.isnan(a) and np.isnan(b)
+            return abs(a - b) <= tolerance * max(1.0, abs(a))
+
+        mismatches: List[str] = []
+        left, right = self.as_dict(), other.as_dict()
+        for key in left:
+            if isinstance(left[key], str):
+                equal = left[key] == right.get(key)
+            else:
+                equal = key in right and close(left[key], right[key])
+            if not equal:
+                mismatches.append(
+                    f"{key}: {left[key]!r} != {right.get(key)!r}")
+        if self.assignments != other.assignments:
+            mismatches.append("assignments differ")
+        tiers = [("edge", self.edge_tiers, other.edge_tiers),
+                 ("wan", self.wan_tiers, other.wan_tiers),
+                 ("cloud", [self.cloud_tier], [other.cloud_tier])]
+        for label, mine, theirs in tiers:
+            if len(mine) != len(theirs):
+                mismatches.append(f"{label} tier count differs")
+                continue
+            for index, (tier_a, tier_b) in enumerate(zip(mine, theirs)):
+                if not (close(tier_a.busy_seconds, tier_b.busy_seconds)
+                        and close(tier_a.utilisation, tier_b.utilisation)
+                        and tier_a.max_queue_depth == tier_b.max_queue_depth
+                        and tier_a.completed == tier_b.completed):
+                    mismatches.append(
+                        f"{label} tier {index}: {tier_a} != {tier_b}")
+        if len(self.outcomes) != len(other.outcomes):
+            mismatches.append("outcome count differs")
+        else:
+            for outcome_a, outcome_b in zip(self.outcomes, other.outcomes):
+                if not (outcome_a.edge_index == outcome_b.edge_index
+                        and close(outcome_a.start_seconds,
+                                  outcome_b.start_seconds)
+                        and close(outcome_a.end_seconds,
+                                  outcome_b.end_seconds)):
+                    mismatches.append(
+                        f"outcome {outcome_a.job.camera}: "
+                        f"({outcome_a.start_seconds}, {outcome_a.end_seconds})"
+                        f" != ({outcome_b.start_seconds}, "
+                        f"{outcome_b.end_seconds})")
+        return mismatches
+
 
 class FleetOrchestrator:
     """Shards camera jobs over edge servers and simulates the fleet.
@@ -263,6 +320,11 @@ class FleetOrchestrator:
         arrival_jitter_seconds: Upper bound of the per-camera start-time
             jitter; offsets are drawn deterministically from ``seed``.
         seed: Root seed for the arrival jitter (see :mod:`repro.rng`).
+        fleet_workers: Worker processes executing the simulation (default:
+            ``config.fleet_workers``).  ``1`` runs the original
+            single-process event loop; larger values shard the per-edge
+            pipelines across a process pool (see :mod:`repro.parallel`)
+            and produce the same report.
     """
 
     def __init__(self, jobs: Sequence[CameraJob], num_edge_servers: int = 1,
@@ -270,7 +332,8 @@ class FleetOrchestrator:
                  policy: "PlacementPolicy | str" = PlacementPolicy.ROUND_ROBIN,
                  edge_workers: int = 1, cloud_workers: Optional[int] = None,
                  arrival_jitter_seconds: float = 0.0,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 fleet_workers: Optional[int] = None) -> None:
         if not jobs:
             raise ClusterError("the fleet needs at least one camera job")
         names = [job.camera for job in jobs]
@@ -293,6 +356,10 @@ class FleetOrchestrator:
             raise ClusterError("cloud_workers must be >= 1")
         self.arrival_jitter_seconds = float(arrival_jitter_seconds)
         self.seed = seed
+        self.fleet_workers = int(fleet_workers if fleet_workers is not None
+                                 else self.config.fleet_workers)
+        if self.fleet_workers < 1:
+            raise ClusterError("fleet_workers must be >= 1")
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -337,7 +404,20 @@ class FleetOrchestrator:
     # Simulation
     # ------------------------------------------------------------------ #
     def run(self) -> FleetReport:
-        """Simulate the fleet and return its report."""
+        """Simulate the fleet and return its report.
+
+        With ``fleet_workers > 1`` the per-edge pipelines are simulated in
+        worker processes and merged deterministically (see
+        :func:`repro.parallel.run_parallel`); the report is the same either
+        way, the single-process path below remains the reference.
+        """
+        if self.fleet_workers > 1:
+            from ..parallel import run_parallel
+            return run_parallel(self, self.fleet_workers)
+        return self._run_single_process()
+
+    def _run_single_process(self) -> FleetReport:
+        """The reference single-process event loop (``fleet_workers=1``)."""
         watch = Stopwatch().start()
         scheduler = EventScheduler()
         lan_links: List[ContendedLink] = []

@@ -14,7 +14,6 @@ carry payloads.  Two paths are provided:
 
 from __future__ import annotations
 
-import struct
 from typing import Dict, Iterator, List
 
 import numpy as np

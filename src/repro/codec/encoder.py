@@ -31,7 +31,7 @@ import numpy as np
 
 from ..errors import EncodeError
 from ..logging_utils import get_logger
-from ..video.frame import Frame, FrameType
+from ..video.frame import FrameType
 from ..video.raw_video import VideoSource
 from .bitstream import EncodedFrame, EncodedVideo
 from .blocks import pad_plane, to_blocks, from_blocks, crop_plane

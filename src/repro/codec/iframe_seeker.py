@@ -13,7 +13,7 @@ is what gives SiEVE the 100x+ event-detection speedup of Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..errors import BitstreamError
 from ..video.frame import FrameType

@@ -95,6 +95,12 @@ class SystemConfig:
         nn_batch_size: Frames fed through the NN per batched forward pass
             (the analysis pipeline and the dataflow detector operators chunk
             their sampled frames to this size).
+        fleet_workers: Worker *processes* used to execute a fleet
+            simulation (see :mod:`repro.parallel`).  ``1`` (the default)
+            keeps the single-process serial path; larger values shard the
+            per-edge pipelines across a ``ProcessPoolExecutor`` and merge
+            the results deterministically — the report is equal to the
+            serial one regardless of worker count or completion order.
         seed: Root seed for all stochastic components.
     """
 
@@ -105,6 +111,7 @@ class SystemConfig:
     hardware: HardwareCalibration = field(default_factory=HardwareCalibration)
     nn_input_resolution: tuple = NN_INPUT_RESOLUTION
     nn_batch_size: int = 16
+    fleet_workers: int = 1
     seed: int = 20200601
 
     def __post_init__(self) -> None:
@@ -119,6 +126,8 @@ class SystemConfig:
             raise ConfigurationError("nn_input_resolution must be positive")
         if self.nn_batch_size < 1:
             raise ConfigurationError("nn_batch_size must be >= 1")
+        if self.fleet_workers < 1:
+            raise ConfigurationError("fleet_workers must be >= 1")
 
     def with_bandwidth(self, edge_cloud_mbps: float) -> "SystemConfig":
         """Return a copy with a different edge->cloud bandwidth."""
@@ -130,6 +139,7 @@ class SystemConfig:
             hardware=self.hardware,
             nn_input_resolution=self.nn_input_resolution,
             nn_batch_size=self.nn_batch_size,
+            fleet_workers=self.fleet_workers,
             seed=self.seed,
         )
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..cluster.costmodel import CostModel
 from ..codec.encoder import VideoEncoder

@@ -40,7 +40,7 @@ from ..cluster.fleet import (CameraJob, FleetOrchestrator, FleetReport,
 from ..cluster.node import default_cloud_node, default_edge_node
 from ..config import SystemConfig
 from ..codec.encoder import VideoEncoder
-from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters, KeyframePlacer
+from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters
 from ..datasets.generator import DatasetInstance
 from ..errors import PipelineError
 from ..jpeg_sizing import resized_frame_bytes  # noqa: F401  (re-exported helper)

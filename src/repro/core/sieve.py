@@ -9,8 +9,8 @@ simulating a full multi-camera edge/cloud deployment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..cluster.resultdb import ResultDatabase
 from ..codec.encoder import VideoEncoder

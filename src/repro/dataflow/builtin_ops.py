@@ -11,7 +11,7 @@ the functional integration tests and the throughput evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,7 +20,6 @@ from ..codec.decoder import VideoDecoder
 from ..errors import DataflowError
 from ..nn.oracle import ObjectDetector
 from ..video.events import LabelSet
-from ..video.frame import Frame
 from ..vision.imageops import resize
 from .operator import Operator, OperatorResult
 

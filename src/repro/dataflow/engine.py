@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict, deque
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional
 
 from ..errors import DataflowError
 from .operator import Operator, OperatorResult, SinkOperator, SourceOperator

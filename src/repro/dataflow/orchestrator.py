@@ -16,7 +16,6 @@ from typing import Any, Dict, List, Optional
 from ..errors import DataflowError
 from ..net.channel import Channel
 from .engine import DataflowEngine
-from .operator import SinkOperator
 
 
 @dataclass

@@ -38,7 +38,7 @@ from typing import (Any, Callable, Deque, Dict, List, Mapping, Optional,
 
 from ..errors import DataflowError
 from .engine import DataflowEngine
-from .operator import Operator, OperatorResult, SinkOperator, SourceOperator
+from .operator import SinkOperator, SourceOperator
 
 Action = Callable[[], None]
 
@@ -132,6 +132,7 @@ class _StationJob:
     service_seconds: float
     on_complete: Optional[Callable[[Any], None]]
     payload: Any
+    on_start: Optional[Callable[[Any], None]] = None
 
 
 class ServiceStation:
@@ -166,13 +167,22 @@ class ServiceStation:
 
     def submit(self, service_seconds: float,
                on_complete: Optional[Callable[[Any], None]] = None,
-               payload: Any = None) -> None:
-        """Enqueue a job taking ``service_seconds`` of worker time."""
+               payload: Any = None,
+               on_start: Optional[Callable[[Any], None]] = None) -> None:
+        """Enqueue a job taking ``service_seconds`` of worker time.
+
+        ``on_start(payload)`` fires the moment the job leaves the queue and
+        occupies a worker (the same instant its completion event is
+        scheduled) — which is the insertion-order key for simultaneous
+        completions, used by the multiprocess decomposition to reproduce
+        the single-scheduler tie-breaking.
+        """
         if service_seconds < 0:
             raise DataflowError(
                 f"service time must be >= 0, got {service_seconds}")
         self.stats.arrivals += 1
-        self._queue.append(_StationJob(float(service_seconds), on_complete, payload))
+        self._queue.append(_StationJob(float(service_seconds), on_complete,
+                                       payload, on_start))
         self._try_start()
 
     def _try_start(self) -> None:
@@ -180,6 +190,8 @@ class ServiceStation:
             job = self._queue.popleft()
             self._in_service += 1
             self.stats.busy_seconds += job.service_seconds
+            if job.on_start is not None:
+                job.on_start(job.payload)
             self.scheduler.schedule(job.service_seconds,
                                     lambda job=job: self._finish(job))
         # Only jobs still waiting after dispatch count toward the peak depth.

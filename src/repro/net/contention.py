@@ -51,8 +51,13 @@ class ContendedLink:
 
     def submit(self, size_bytes: int, description: str = "",
                on_complete: Optional[Callable[[Any], None]] = None,
-               payload: Any = None) -> None:
-        """Queue a transfer; ``on_complete(payload)`` fires on delivery."""
+               payload: Any = None,
+               on_start: Optional[Callable[[Any], None]] = None) -> None:
+        """Queue a transfer; ``on_complete(payload)`` fires on delivery.
+
+        ``on_start(payload)`` fires when the transfer actually occupies the
+        link (after any queueing).
+        """
         if size_bytes < 0:
             raise NetworkError("size_bytes must be >= 0")
         duration = self.link.transfer_seconds(size_bytes)
@@ -62,7 +67,8 @@ class ContendedLink:
             if on_complete is not None:
                 on_complete(delivered)
 
-        self._station.submit(duration, on_complete=_deliver, payload=payload)
+        self._station.submit(duration, on_complete=_deliver, payload=payload,
+                             on_start=on_start)
 
     def utilisation(self, makespan_seconds: float) -> float:
         """Fraction of link time spent transferring over ``makespan_seconds``."""

@@ -10,9 +10,8 @@ sensitivity studies (ablations on imperfect detectors).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
-import numpy as np
 
 from ..errors import ModelError
 from ..rng import make_rng

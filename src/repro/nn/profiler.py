@@ -16,7 +16,6 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..errors import ModelError
 from ..rng import make_rng

@@ -14,14 +14,13 @@ and partitioning experiments need.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ModelError
 from ..vision.imageops import normalize_plane, resize, to_grayscale
-from .layers import (Conv2D, Dense, Flatten, GlobalAveragePool, MaxPool2D, ReLU,
-                     Softmax)
+from .layers import Conv2D, Dense, GlobalAveragePool, MaxPool2D, ReLU, Softmax
 from .model import SequentialModel
 
 #: Object classes recognised by the reference network: the classes named in

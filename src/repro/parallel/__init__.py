@@ -1,0 +1,19 @@
+"""Multiprocess execution layer.
+
+The simulators and experiment harnesses are single-threaded by design
+(deterministic virtual clocks, bit-stable numerics); this package is where
+the library crosses process boundaries instead.  The first resident is the
+fleet decomposition — per-edge pipeline simulations sharded over a
+``ProcessPoolExecutor`` with an exact single-pass cloud replay — used by
+:class:`repro.cluster.fleet.FleetOrchestrator` when
+``SystemConfig.fleet_workers > 1``.
+"""
+
+from .fleet import (EdgeSimResult, EdgeSimTask, empty_edge_result,
+                    replay_cloud, run_parallel, simulate_edge,
+                    simulate_edge_shard)
+
+__all__ = [
+    "EdgeSimResult", "EdgeSimTask", "empty_edge_result", "replay_cloud",
+    "run_parallel", "simulate_edge", "simulate_edge_shard",
+]

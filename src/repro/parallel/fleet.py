@@ -1,0 +1,414 @@
+"""Multiprocess fleet execution: shard per-edge pipelines across processes.
+
+The discrete-event fleet simulation decomposes cleanly along the edge
+servers: every :class:`~repro.cluster.fleet.CameraJob` flows through its
+edge's *private* resources (camera->edge LAN link, edge compute station,
+edge->cloud WAN uplink) before touching the one resource shared by the
+whole fleet — the cloud compute station.  Jobs placed on different edges
+therefore interact **only** at the cloud tier, which is what makes an
+exact parallel decomposition possible:
+
+1. **Workers** (one task per edge server, tasks sharded over a
+   ``ProcessPoolExecutor``) simulate stages 1-3 for their edge's jobs on a
+   private virtual clock, producing each job's *cloud arrival time* plus
+   the edge's tier statistics.  Virtual timestamps inside one edge's
+   pipeline are chains of float additions over that edge's own service
+   durations, and the shared scheduler only ever *orders* events across
+   edges — it never changes their time values — so the isolated per-edge
+   simulation reproduces the joint simulation's arrival times bit for bit.
+2. **The parent** replays the cloud station once, feeding the collected
+   arrivals into a fresh scheduler.  The joint simulation fires
+   simultaneous events in insertion order, and a WAN-completion event is
+   inserted the moment its transfer *starts* service — so equal-time
+   arrivals are replayed ordered by the chain of stage service-start
+   times the workers recorded (WAN start, then edge start, then LAN
+   start, then the arrival offset, then job index).  Each level resolves
+   the tie exactly as the shared scheduler's sequence numbers would; jobs
+   still tied through the whole chain have identical timing histories, so
+   within one edge FIFO order is job order and across edges the ingest
+   events (scheduled in job order) decide — job index again.
+3. **The merge** assembles the familiar :class:`FleetReport` from the
+   per-edge results (sorted by edge index, i.e. deterministically
+   *regardless of worker completion order*) and the cloud replay.
+
+``SystemConfig.fleet_workers == 1`` bypasses all of this and runs the
+single-process path unchanged; the parity of the two paths is pinned by
+``tests/cluster/test_parallel_fleet.py`` to the same 1e-6 contract as the
+serial regression suite.  When process pools are unavailable (restricted
+sandboxes), the decomposed simulation runs inline in the parent — same
+results, no parallelism.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..dataflow.scheduler import EventScheduler, ServiceStation, StationStats
+from ..errors import ClusterError
+from ..net.contention import ContendedLink
+from ..net.link import NetworkLink
+from ..perf import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only.
+    from ..cluster.fleet import CameraJob, FleetOrchestrator, FleetReport
+
+
+@dataclass(frozen=True)
+class EdgeSimTask:
+    """One edge server's share of the fleet, shipped to a worker process.
+
+    Attributes:
+        edge_index: The edge server being simulated.
+        job_indices: Positions of the jobs in the orchestrator's job list
+            (ascending, which is also their submission order).
+        jobs: The jobs placed on this edge, aligned with ``job_indices``.
+        start_offsets: Per-job arrival offsets, aligned with ``jobs``.
+        config: Bandwidths and latencies of the fleet.
+        edge_workers: Parallel compute slots of the edge station.
+    """
+
+    edge_index: int
+    job_indices: Tuple[int, ...]
+    jobs: Tuple["CameraJob", ...]
+    start_offsets: Tuple[float, ...]
+    config: SystemConfig
+    edge_workers: int
+
+
+@dataclass(frozen=True)
+class EdgeSimResult:
+    """What one edge's stage-1..3 simulation produced.
+
+    Attributes:
+        edge_index: The simulated edge server.
+        job_indices: Original job positions, aligned with ``cloud_arrivals``.
+        cloud_arrivals: Virtual time each job finished its WAN transfer and
+            became ready for cloud compute.
+        stage_starts: Per job, the virtual times its WAN transfer, edge
+            compute and LAN transfer *started* service — the tie-break
+            chain that reproduces the shared scheduler's insertion order
+            for simultaneous cloud arrivals.
+        lan_stats: Camera->edge link station statistics.
+        edge_stats: Edge compute station statistics.
+        wan_stats: Edge->cloud uplink station statistics.
+        lan_bytes: Bytes moved camera->edge.
+        wan_bytes: Bytes moved edge->cloud.
+        wan_seconds: Total WAN transfer seconds (uncontended accounting).
+        events_processed: Events fired by the edge's private scheduler.
+    """
+
+    edge_index: int
+    job_indices: Tuple[int, ...]
+    cloud_arrivals: Tuple[float, ...]
+    stage_starts: Tuple[Tuple[float, float, float], ...]
+    lan_stats: StationStats
+    edge_stats: StationStats
+    wan_stats: StationStats
+    lan_bytes: int
+    wan_bytes: int
+    wan_seconds: float
+    events_processed: int
+
+
+def empty_edge_result(edge_index: int) -> EdgeSimResult:
+    """The result of an edge server that received no jobs.
+
+    All-zero statistics: an idle edge contributes empty tiers (utilisation
+    0, no queueing) to the merged report rather than being skipped, so
+    fleets with more edges than cameras keep one tier entry per server.
+    """
+    return EdgeSimResult(edge_index=edge_index, job_indices=(),
+                         cloud_arrivals=(), stage_starts=(),
+                         lan_stats=StationStats(),
+                         edge_stats=StationStats(), wan_stats=StationStats(),
+                         lan_bytes=0, wan_bytes=0, wan_seconds=0.0,
+                         events_processed=0)
+
+
+def simulate_edge(task: EdgeSimTask) -> EdgeSimResult:
+    """Simulate one edge's LAN -> edge compute -> WAN pipeline in isolation.
+
+    This is the worker-side function; it must stay importable at module
+    level (and its argument/return types picklable) for the process pool.
+    """
+    if not task.jobs:
+        return empty_edge_result(task.edge_index)
+    config = task.config
+    scheduler = EventScheduler()
+    lan = ContendedLink(scheduler, NetworkLink(
+        name=f"camera-edge:{task.edge_index}",
+        bandwidth_mbps=config.camera_edge_bandwidth_mbps,
+        latency_ms=config.camera_edge_latency_ms))
+    edge = ServiceStation(scheduler, f"edge:{task.edge_index}",
+                          capacity=task.edge_workers)
+    wan = ContendedLink(scheduler, NetworkLink(
+        name=f"edge-cloud:{task.edge_index}",
+        bandwidth_mbps=config.edge_cloud_bandwidth_mbps,
+        latency_ms=config.edge_cloud_latency_ms))
+
+    arrivals: Dict[int, float] = {}
+    starts: Dict[int, Dict[str, float]] = {}
+    for job_index, job, offset in zip(task.job_indices, task.jobs,
+                                      task.start_offsets):
+        _submit_edge_stages(scheduler, lan, edge, wan, job_index, job, offset,
+                            arrivals, starts)
+    scheduler.run()
+    return EdgeSimResult(
+        edge_index=task.edge_index,
+        job_indices=task.job_indices,
+        cloud_arrivals=tuple(arrivals[index] for index in task.job_indices),
+        stage_starts=tuple(
+            (starts[index]["wan"], starts[index]["edge"], starts[index]["lan"])
+            for index in task.job_indices),
+        lan_stats=lan.stats,
+        edge_stats=edge.stats,
+        wan_stats=wan.stats,
+        lan_bytes=lan.link.total_bytes,
+        wan_bytes=wan.link.total_bytes,
+        wan_seconds=wan.link.total_seconds,
+        events_processed=scheduler.events_processed,
+    )
+
+
+def _submit_edge_stages(scheduler: EventScheduler, lan: ContendedLink,
+                        edge: ServiceStation, wan: ContendedLink,
+                        job_index: int, job: "CameraJob", offset: float,
+                        arrivals: Dict[int, float],
+                        starts: Dict[int, Dict[str, float]]) -> None:
+    """Chain one job through LAN -> edge -> WAN, recording its cloud arrival.
+
+    Mirrors :meth:`FleetOrchestrator._submit_job` stage for stage; the cloud
+    submission is replaced by recording ``scheduler.now`` at WAN delivery.
+    Every stage's *service start* time is also recorded — the instants the
+    joint simulation would insert the corresponding completion events, which
+    the cloud replay needs to break arrival-time ties exactly.
+    """
+    job_starts = starts[job_index] = {}
+
+    def _stage_started(stage: str):
+        def _record(_: object) -> None:
+            job_starts[stage] = scheduler.now
+        return _record
+
+    def _arrive_cloud(_: object) -> None:
+        arrivals[job_index] = scheduler.now
+
+    def _enter_wan(_: object) -> None:
+        wan.submit(job.edge_cloud_bytes,
+                   description=job.transfer_description or job.camera,
+                   on_complete=_arrive_cloud,
+                   on_start=_stage_started("wan"))
+
+    def _enter_edge(_: object) -> None:
+        edge.submit(job.edge_seconds, on_complete=_enter_wan,
+                    on_start=_stage_started("edge"))
+
+    def _ingest() -> None:
+        lan.submit(job.camera_edge_bytes,
+                   description=f"ingest:{job.camera}",
+                   on_complete=_enter_edge,
+                   on_start=_stage_started("lan"))
+
+    scheduler.schedule_at(offset, _ingest)
+
+
+def simulate_edge_shard(tasks: Sequence[EdgeSimTask]) -> List[EdgeSimResult]:
+    """Worker entry point: simulate a batch of edges sequentially."""
+    return [simulate_edge(task) for task in tasks]
+
+
+def replay_cloud(arrivals: Sequence[float], service_seconds: Sequence[float],
+                 cloud_workers: int,
+                 tie_keys: Sequence[Tuple[float, ...]] = ()
+                 ) -> Tuple[List[float], StationStats, int]:
+    """Replay the shared cloud station over the collected arrivals.
+
+    Args:
+        arrivals: Per-job cloud arrival (WAN completion) time.
+        service_seconds: Per-job cloud compute time.
+        cloud_workers: Cloud station capacity.
+        tie_keys: Optional per-job tuples breaking equal-``arrival`` ties
+            — the stage service-*start* times ``(wan, edge, lan, offset)``
+            recorded by the edge simulations.  The joint scheduler fires
+            simultaneous events in insertion order, and a completion event
+            is inserted when its service starts, so sorting tied arrivals
+            by start-time chain (job index last) reproduces that order.
+
+    Returns:
+        ``(end_seconds per job, cloud station stats, finish events)`` where
+        finish events excludes the arrival re-fires (those stand in for the
+        workers' WAN-completion events and must not be double counted).
+    """
+    scheduler = EventScheduler()
+    cloud = ServiceStation(scheduler, "cloud", capacity=cloud_workers)
+    ends: List[float] = [float("nan")] * len(arrivals)
+
+    def _submit(job_index: int) -> None:
+        def _finish(_: object) -> None:
+            ends[job_index] = scheduler.now
+        cloud.submit(service_seconds[job_index], on_complete=_finish)
+
+    def _insert_arrival(job_index: int) -> None:
+        scheduler.schedule_at(arrivals[job_index],
+                              lambda job_index=job_index: _submit(job_index))
+
+    def sort_key(index: int):
+        # Order of insertion = (insertion instant, then the deeper
+        # service-start chain, then job index) — the same order the joint
+        # scheduler's sequence numbers impose.
+        if tie_keys:
+            return (*tie_keys[index], index)
+        return (arrivals[index], index)
+
+    # Each arrival event must enter the heap at the instant the joint
+    # simulation inserted the corresponding WAN-completion event — its WAN
+    # service start — or its sequence number (and hence its order against
+    # cloud-completion events firing at the same virtual time, which are
+    # inserted mid-run at cloud service start) comes out wrong.  A starter
+    # event at the WAN start time performs the insertion; the starters
+    # themselves are pre-inserted in tie-chain order so equal start times
+    # keep the joint order too.
+    for job_index in sorted(range(len(arrivals)), key=sort_key):
+        insert_at = tie_keys[job_index][0] if tie_keys else arrivals[job_index]
+        scheduler.schedule_at(
+            insert_at, lambda job_index=job_index: _insert_arrival(job_index))
+    scheduler.run()
+    # The starter and arrival events are replay bookkeeping standing in for
+    # the workers' WAN-completion events; only cloud completions count.
+    finish_events = scheduler.events_processed - 2 * len(arrivals)
+    return ends, cloud.stats, finish_events
+
+
+def run_parallel(orchestrator: "FleetOrchestrator",
+                 fleet_workers: int) -> "FleetReport":
+    """Execute a fleet simulation across ``fleet_workers`` processes.
+
+    Produces a report equal to ``orchestrator.run()``'s (within float
+    reassociation; in practice bit-identical) with per-edge pipelines
+    simulated concurrently.  The merge is deterministic regardless of
+    worker completion order: results are keyed and combined by edge index.
+    """
+    from ..cluster.fleet import (LATENCY_PERCENTILES, FleetReport, JobOutcome,
+                                 TierReport)
+    if fleet_workers < 1:
+        raise ClusterError(f"fleet_workers must be >= 1, got {fleet_workers}")
+    watch = Stopwatch().start()
+    jobs = orchestrator.jobs
+    assignments = orchestrator.assign()
+    offsets = orchestrator._arrival_offsets()
+
+    per_edge: Dict[int, List[int]] = {
+        index: [] for index in range(orchestrator.num_edge_servers)}
+    for job_index, job in enumerate(jobs):
+        per_edge[assignments[job.camera]].append(job_index)
+    tasks = [
+        EdgeSimTask(
+            edge_index=edge_index,
+            job_indices=tuple(job_indices),
+            jobs=tuple(jobs[index] for index in job_indices),
+            start_offsets=tuple(offsets[index] for index in job_indices),
+            config=orchestrator.config,
+            edge_workers=orchestrator.edge_workers,
+        )
+        for edge_index, job_indices in sorted(per_edge.items())
+        if job_indices
+    ]
+    results = _run_edge_tasks(tasks, fleet_workers)
+    for edge_index in range(orchestrator.num_edge_servers):
+        if edge_index not in results:
+            results[edge_index] = empty_edge_result(edge_index)
+
+    arrivals = [0.0] * len(jobs)
+    tie_keys: List[Tuple[float, ...]] = [()] * len(jobs)
+    for result in results.values():
+        for position, (job_index, arrival) in enumerate(
+                zip(result.job_indices, result.cloud_arrivals)):
+            arrivals[job_index] = arrival
+            tie_keys[job_index] = (*result.stage_starts[position],
+                                   offsets[job_index])
+    ends, cloud_stats, cloud_events = replay_cloud(
+        arrivals, [job.cloud_seconds for job in jobs],
+        orchestrator.cloud_workers, tie_keys=tie_keys)
+
+    outcomes = [
+        JobOutcome(job=job, edge_index=assignments[job.camera],
+                   start_seconds=offset, end_seconds=end)
+        for job, offset, end in zip(jobs, offsets, ends)
+    ]
+    makespan = max((outcome.end_seconds for outcome in outcomes), default=0.0)
+    latencies = sorted(outcome.latency_seconds for outcome in outcomes)
+    percentiles = {percentile: float(np.percentile(latencies, percentile))
+                   for percentile in LATENCY_PERCENTILES}
+
+    ordered = [results[index] for index in sorted(results)]
+    tier = orchestrator._tier
+    edge_tiers: List[TierReport] = [
+        tier(result.edge_stats, orchestrator.edge_workers, makespan)
+        for result in ordered]
+    wan_tiers: List[TierReport] = [
+        tier(result.wan_stats, 1, makespan) for result in ordered]
+    cloud_tier = tier(cloud_stats, orchestrator.cloud_workers, makespan)
+    events_processed = (sum(result.events_processed for result in ordered)
+                        + cloud_events)
+    return FleetReport(
+        policy=orchestrator.policy,
+        num_edge_servers=orchestrator.num_edge_servers,
+        num_cameras=len(jobs),
+        makespan_seconds=makespan,
+        total_frames=sum(job.num_frames for job in jobs),
+        frames_for_inference=sum(job.frames_for_inference for job in jobs),
+        camera_edge_bytes=sum(result.lan_bytes for result in ordered),
+        edge_cloud_bytes=sum(result.wan_bytes for result in ordered),
+        edge_busy_seconds=sum(t.busy_seconds for t in edge_tiers),
+        cloud_busy_seconds=cloud_tier.busy_seconds,
+        wan_transfer_seconds=sum(result.wan_seconds for result in ordered),
+        edge_tiers=edge_tiers,
+        wan_tiers=wan_tiers,
+        cloud_tier=cloud_tier,
+        latency_percentiles=percentiles,
+        assignments=assignments,
+        outcomes=outcomes,
+        sim_wall_seconds=watch.stop(),
+        events_processed=events_processed,
+    )
+
+
+def _run_edge_tasks(tasks: List[EdgeSimTask],
+                    fleet_workers: int) -> Dict[int, EdgeSimResult]:
+    """Run the edge tasks over a process pool (inline when unavailable).
+
+    Tasks are sharded round-robin over the workers; results are collected
+    as they complete and keyed by edge index, so scheduling and completion
+    order cannot affect the merged report.
+    """
+    shards: List[List[EdgeSimTask]] = [
+        tasks[worker::fleet_workers]
+        for worker in range(min(fleet_workers, len(tasks)))
+    ]
+    shards = [shard for shard in shards if shard]
+    results: Dict[int, EdgeSimResult] = {}
+    if len(shards) <= 1:
+        for result in simulate_edge_shard(tasks):
+            results[result.edge_index] = result
+        return results
+    try:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [pool.submit(simulate_edge_shard, shard)
+                       for shard in shards]
+            for future in as_completed(futures):
+                for result in future.result():
+                    results[result.edge_index] = result
+        return results
+    except (OSError, PermissionError, RuntimeError):
+        # Restricted environments (no /dev/shm, forbidden fork/spawn) fall
+        # back to the same decomposed simulation run inline: identical
+        # results, just no process-level parallelism.
+        results.clear()
+        for result in simulate_edge_shard(tasks):
+            results[result.edge_index] = result
+        return results

@@ -9,7 +9,7 @@ from repro.codec import EncoderParameters
 from repro.errors import ClusterError
 from repro.net import NetworkLink
 from repro.nn import OracleDetector
-from repro.video import RESOLUTION_1080P, RESOLUTION_400P, Resolution
+from repro.video import RESOLUTION_1080P, RESOLUTION_400P
 
 
 class TestCostModel:

@@ -10,7 +10,6 @@ Random resolutions, GOP lengths and :class:`EncoderParameters` grids must
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.codec import (EncodedVideo, EncoderParameters, VideoDecoder,

@@ -8,7 +8,6 @@ from repro.core import (ALL_DEPLOYMENT_MODES, DeploymentMode, EndToEndSimulation
                         MseEventDetector, NNDeploymentService, NNPlacement,
                         SieveEventDetector, UniformSamplingDetector, VideoWorkload,
                         build_workload, sieve_sampling_sweep)
-from repro.core.pipeline import DeploymentReport
 from repro.datasets import build_dataset
 from repro.errors import PipelineError
 from repro.nn import build_yolo_lite

@@ -1,0 +1,190 @@
+"""Tests for the on-disk artifact cache (``repro.datasets.diskcache``)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.codec.gop import EncoderParameters
+from repro.datasets import diskcache
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path))
+    return tmp_path
+
+
+class TestContentKey:
+    def test_stable_across_calls(self):
+        assert diskcache.content_key("a", 1, 2.5) == diskcache.content_key("a", 1, 2.5)
+
+    def test_sensitive_to_every_part(self):
+        base = diskcache.content_key("name", "test", 20.0, 0.08)
+        assert diskcache.content_key("name2", "test", 20.0, 0.08) != base
+        assert diskcache.content_key("name", "train", 20.0, 0.08) != base
+        assert diskcache.content_key("name", "test", 21.0, 0.08) != base
+        assert diskcache.content_key("name", "test", 20.0, 0.09) != base
+
+    def test_dataclasses_keyed_by_fields(self):
+        a = diskcache.content_key(EncoderParameters(gop_size=100))
+        b = diskcache.content_key(EncoderParameters(gop_size=100))
+        c = diskcache.content_key(EncoderParameters(gop_size=200))
+        assert a == b
+        assert a != c
+
+    def test_version_bump_changes_keys(self, monkeypatch):
+        before = diskcache.content_key("x")
+        monkeypatch.setattr(diskcache, "CACHE_SCHEMA_VERSION",
+                            diskcache.CACHE_SCHEMA_VERSION + 1)
+        assert diskcache.content_key("x") != before
+
+    def test_unkeyable_objects_are_rejected(self):
+        """Objects without a stable canonical form must raise, not fall
+        back to a memory-address repr that differs in every process."""
+        class Opaque:
+            pass
+        with pytest.raises(TypeError):
+            diskcache.content_key(Opaque())
+
+
+class TestStoreLoad:
+    def test_round_trip(self, cache_dir):
+        arrays = {"frames": np.arange(24, dtype=np.uint8).reshape(2, 3, 4),
+                  "costs": np.array([1.5, 2.5])}
+        key = diskcache.content_key("round-trip")
+        path = diskcache.store("unit", key, arrays, {"note": "hello"})
+        assert os.path.exists(path)
+        assert str(cache_dir) in path
+        loaded = diskcache.load("unit", key)
+        assert loaded is not None
+        got_arrays, manifest = loaded
+        assert np.array_equal(got_arrays["frames"], arrays["frames"])
+        assert np.array_equal(got_arrays["costs"], arrays["costs"])
+        assert manifest["note"] == "hello"
+        assert manifest["kind"] == "unit"
+        assert manifest["key"] == key
+
+    def test_miss_on_absent_key(self, cache_dir):
+        assert diskcache.load("unit", diskcache.content_key("nothing")) is None
+
+    def test_sibling_json_manifest_written(self, cache_dir):
+        key = diskcache.content_key("manifest")
+        path = diskcache.store("unit", key, {"x": np.zeros(1)}, {"a": 1})
+        sibling = path[:-len(".npz")] + ".json"
+        with open(sibling, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["a"] == 1
+
+    def test_reserved_member_rejected(self, cache_dir):
+        with pytest.raises(ValueError):
+            diskcache.store("unit", "k",
+                            {diskcache.MANIFEST_MEMBER: np.zeros(1)})
+
+    def test_corrupted_file_is_a_miss_and_evicted(self, cache_dir):
+        key = diskcache.content_key("corrupt")
+        path = diskcache.store("unit", key, {"x": np.arange(5)})
+        with open(path, "wb") as handle:
+            handle.write(b"this is not an npz archive")
+        assert diskcache.load("unit", key) is None
+        # The corrupt entry was deleted, so a re-store works cleanly.
+        assert not os.path.exists(path)
+        diskcache.store("unit", key, {"x": np.arange(5)})
+        assert diskcache.load("unit", key) is not None
+
+    def test_truncated_file_is_a_miss(self, cache_dir):
+        key = diskcache.content_key("truncated")
+        path = diskcache.store("unit", key, {"x": np.arange(1000)})
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        assert diskcache.load("unit", key) is None
+
+    def test_schema_version_bump_invalidates_old_entries(self, cache_dir,
+                                                         monkeypatch):
+        key = diskcache.content_key("versioned")
+        diskcache.store("unit", key, {"x": np.arange(3)})
+        assert diskcache.load("unit", key) is not None
+        # Simulate a layout change: entries written under the old schema
+        # must not be readable even when probed with their old key.
+        monkeypatch.setattr(diskcache, "CACHE_SCHEMA_VERSION",
+                            diskcache.CACHE_SCHEMA_VERSION + 1)
+        assert diskcache.load("unit", key) is None
+
+    def test_wrong_kind_is_a_miss(self, cache_dir):
+        key = diskcache.content_key("kinds")
+        diskcache.store("kind-a", key, {"x": np.arange(3)})
+        assert diskcache.load("kind-b", key) is None
+
+    def test_list_and_clear(self, cache_dir):
+        keys = [diskcache.content_key("entry", index) for index in range(3)]
+        for key in keys:
+            diskcache.store("unit", key, {"x": np.zeros(2)})
+        assert sorted(diskcache.list_keys("unit")) == sorted(keys)
+        assert diskcache.clear_cache("unit") == 3
+        assert list(diskcache.list_keys("unit")) == []
+        # Clearing an empty/absent cache is a no-op.
+        assert diskcache.clear_cache() == 0
+
+
+class TestCacheDirSelection:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert diskcache.cache_dir() == str(tmp_path / "custom")
+
+    def test_default_used_when_unset(self, monkeypatch):
+        monkeypatch.delenv(diskcache.CACHE_DIR_ENV, raising=False)
+        assert diskcache.cache_dir() == diskcache.default_cache_dir()
+        assert diskcache.default_cache_dir().endswith("repro-sieve")
+
+
+#: Script run by each racing writer process: stores a deterministic bundle
+#: under the shared key, then loads it back and verifies the contents.
+_RACER_SCRIPT = """
+import sys
+
+import numpy as np
+
+sys.path.insert(0, {src!r})
+from repro.datasets import diskcache
+
+arrays = {{"payload": np.arange(10_000, dtype=np.int64)}}
+for _ in range(20):
+    diskcache.store("race", {key!r}, arrays, {{"writer": "racer"}})
+    loaded = diskcache.load("race", {key!r})
+    assert loaded is not None, "reader observed a broken entry"
+    got, _ = loaded
+    assert np.array_equal(got["payload"], arrays["payload"])
+print("ok")
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_one_key(self, cache_dir):
+        """Two writer/reader processes hammer the same key concurrently.
+
+        The write-then-rename protocol means a reader can never observe a
+        half-written bundle, whichever writer wins each round.
+        """
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        key = diskcache.content_key("contended-entry")
+        script = _RACER_SCRIPT.format(src=src, key=key)
+        env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+        racers = [subprocess.Popen([sys.executable, "-c", script], env=env,
+                                   stdout=subprocess.PIPE,
+                                   stderr=subprocess.PIPE)
+                  for _ in range(2)]
+        for racer in racers:
+            stdout, stderr = racer.communicate(timeout=120)
+            assert racer.returncode == 0, stderr.decode()
+            assert stdout.decode().strip() == "ok"
+        final = diskcache.load("race", key)
+        assert final is not None
+        arrays, manifest = final
+        assert np.array_equal(arrays["payload"],
+                              np.arange(10_000, dtype=np.int64))
+        assert manifest["writer"] == "racer"

@@ -1,0 +1,177 @@
+"""Two-level dataset/workload cache: warm sessions skip every render.
+
+Acceptance contract: a second Python session pointed at a warm
+``REPRO_CACHE_DIR`` rebuilds its prepared datasets and workloads entirely
+from disk — asserted through the :mod:`repro.perf` stage sections
+(``dataset.render`` must not fire on the warm pass) — and produces
+identical values.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datasets import diskcache
+from repro.experiments import ExperimentConfig, prepare_dataset, prepare_workload
+from repro.experiments.common import (DATASET_CACHE_KIND, WORKLOAD_CACHE_KIND,
+                                      clear_prepared_cache)
+from repro.perf import get_recorder
+
+QUICK = ExperimentConfig(duration_seconds=8.0, render_scale=0.06,
+                         datasets=("jackson_square",))
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path))
+    clear_prepared_cache()
+    get_recorder().reset()
+    yield tmp_path
+    clear_prepared_cache()
+    get_recorder().reset()
+
+
+def workload_fingerprint(workload):
+    return (workload.name, workload.num_frames, workload.semantic_bytes,
+            workload.default_bytes, workload.semantic_iframe_bytes,
+            list(workload.semantic_samples), list(workload.mse_samples),
+            list(workload.uniform_samples), workload.resized_frame_bytes)
+
+
+class TestPreparedDatasetDiskCache:
+    def test_disk_hit_reproduces_the_cold_result(self, cache_dir):
+        cold = prepare_dataset("jackson_square", QUICK)
+        sections = get_recorder().sections
+        assert "dataset.render" in sections
+        assert "dataset.disk_hit" not in sections
+
+        # A fresh "session": the in-process layer is empty, the disk warm.
+        clear_prepared_cache()
+        get_recorder().reset()
+        warm = prepare_dataset("jackson_square", QUICK)
+        sections = get_recorder().sections
+        assert "dataset.render" not in sections
+        assert "dataset.disk_hit" in sections
+        assert np.array_equal(np.stack(cold.instance.video.as_arrays()),
+                              np.stack(warm.instance.video.as_arrays()))
+        assert cold.activities == warm.activities
+        assert cold.timeline == warm.timeline
+        assert cold.instance.video.metadata == warm.instance.video.metadata
+        assert cold.instance.profile == warm.instance.profile
+
+    def test_corrupted_dataset_artifact_falls_back_to_render(self, cache_dir):
+        prepare_dataset("jackson_square", QUICK)
+        for key in diskcache.list_keys(DATASET_CACHE_KIND):
+            with open(diskcache.artifact_path(DATASET_CACHE_KIND, key),
+                      "wb") as handle:
+                handle.write(b"garbage")
+        clear_prepared_cache()
+        get_recorder().reset()
+        prepared = prepare_dataset("jackson_square", QUICK)
+        assert "dataset.render" in get_recorder().sections
+        assert prepared.timeline is not None
+
+    def test_cache_disabled_writes_nothing(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_DATASET_CACHE", "0")
+        prepare_dataset("jackson_square", QUICK)
+        prepare_workload("jackson_square", QUICK)
+        assert list(diskcache.list_keys(DATASET_CACHE_KIND)) == []
+        assert list(diskcache.list_keys(WORKLOAD_CACHE_KIND)) == []
+
+
+class TestWorkloadDiskCache:
+    def test_warm_hit_skips_build_and_matches(self, cache_dir):
+        cold = prepare_workload("jackson_square", QUICK)
+        assert "workload.build" in get_recorder().sections
+
+        clear_prepared_cache()
+        get_recorder().reset()
+        warm = prepare_workload("jackson_square", QUICK)
+        sections = get_recorder().sections
+        assert "workload.disk_hit" in sections
+        # The warm hit touches neither the footage nor the tuner/encoder.
+        for absent in ("dataset.render", "dataset.analyze", "workload.build",
+                       "pipeline.tune", "pipeline.encode"):
+            assert absent not in sections, absent
+        assert workload_fingerprint(cold) == workload_fingerprint(warm)
+        assert cold.timeline == warm.timeline
+        assert cold.nominal_resolution == warm.nominal_resolution
+
+    def test_in_process_layer_serves_repeat_calls(self, cache_dir):
+        first = prepare_workload("jackson_square", QUICK)
+        assert prepare_workload("jackson_square", QUICK) is first
+
+    def test_key_covers_experiment_scale(self, cache_dir):
+        prepare_workload("jackson_square", QUICK)
+        bigger = ExperimentConfig(duration_seconds=10.0, render_scale=0.06,
+                                  datasets=("jackson_square",))
+        clear_prepared_cache()
+        get_recorder().reset()
+        prepare_workload("jackson_square", bigger)
+        # Different scale -> different key -> a real rebuild.
+        assert "workload.build" in get_recorder().sections
+        assert len(list(diskcache.list_keys(WORKLOAD_CACHE_KIND))) == 2
+
+
+#: One self-contained "pytest session": prepares the Figure 4 workload of
+#: a quick config and dumps the perf stage sections plus a result
+#: fingerprint as JSON on stdout.
+_SESSION_SCRIPT = """
+import json
+import sys
+
+sys.path.insert(0, {src!r})
+from repro.experiments import ExperimentConfig, prepare_workload
+from repro.perf import get_recorder
+
+config = ExperimentConfig(duration_seconds=8.0, render_scale=0.06,
+                          datasets=("jackson_square",))
+workload = prepare_workload("jackson_square", config)
+summary = get_recorder().summary()
+print(json.dumps({{
+    "sections": sorted(summary),
+    "stage_seconds": {{name: stats["total_seconds"]
+                       for name, stats in summary.items()}},
+    "fingerprint": [workload.name, workload.num_frames,
+                    workload.semantic_bytes, workload.default_bytes,
+                    list(workload.semantic_samples),
+                    list(workload.mse_samples),
+                    list(workload.uniform_samples)],
+}}))
+"""
+
+
+class TestSecondSessionIsWarm:
+    def test_second_python_session_skips_all_renders(self, cache_dir):
+        """Two real interpreter sessions sharing one ``REPRO_CACHE_DIR``:
+        the second must not render, analyze, tune or encode anything."""
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        script = _SESSION_SCRIPT.format(src=src)
+        env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+
+        def run_session():
+            result = subprocess.run([sys.executable, "-c", script], env=env,
+                                    capture_output=True, text=True,
+                                    timeout=300)
+            assert result.returncode == 0, result.stderr
+            return json.loads(result.stdout)
+
+        first = run_session()
+        assert "dataset.render" in first["sections"]
+        second = run_session()
+        for heavy_stage in ("dataset.render", "dataset.analyze",
+                            "workload.build", "pipeline.tune",
+                            "pipeline.encode", "pipeline.mse_baseline"):
+            assert heavy_stage not in second["sections"], heavy_stage
+        assert "workload.disk_hit" in second["sections"]
+        assert second["fingerprint"] == first["fingerprint"]
+        # The warm session's cache path is much cheaper than the cold
+        # stages it replaced (conservative factor; typically ~100x).
+        cold_seconds = sum(first["stage_seconds"].values())
+        warm_seconds = sum(second["stage_seconds"].values())
+        assert warm_seconds < cold_seconds

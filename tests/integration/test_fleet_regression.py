@@ -12,9 +12,13 @@ import math
 import pytest
 
 from repro import SystemConfig
+from repro.cluster import FleetOrchestrator
 from repro.core import (ALL_DEPLOYMENT_MODES, DeploymentMode,
                         EndToEndSimulation, build_workload, plan_camera_job)
 from repro.datasets import build_dataset
+from repro.datasets.generator import DatasetInstance
+from repro.datasets.registry import DatasetSpec
+from repro.video import RESOLUTION_720P, SyntheticScene, make_scenario
 
 TOLERANCE = 1e-6
 
@@ -104,3 +108,60 @@ class TestMultiEdgeInvariants:
                                                       abs=TOLERANCE)
             assert job.camera_edge_bytes == int(seed["camera_edge_bytes"])
             assert job.edge_cloud_bytes == int(seed["edge_cloud_bytes"])
+
+
+class TestMultiprocessParity:
+    """Acceptance: ``fleet_workers=N`` equals the serial path (1e-6 bound)
+    on the highway and fleet-scaling scenarios."""
+
+    @pytest.fixture(scope="class")
+    def highway_jobs(self, workload):
+        """A small fleet-scaling-style fleet: Table I workload + highway,
+        cycled over eight cameras."""
+        spec = DatasetSpec(
+            name="highway", objects=("car", "truck"),
+            nominal_resolution=RESOLUTION_720P, fps=30.0,
+            paper_duration_hours=4.0,
+            description="fast vehicles crossing a highway overpass",
+            has_labels=False)
+        profile = make_scenario("highway", duration_seconds=8,
+                                render_scale=0.06)
+        instance = DatasetInstance(spec=spec, profile=profile,
+                                   video=SyntheticScene(profile).video())
+        highway = build_workload(instance, config=SystemConfig())
+        workloads = [workload, highway]
+        mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
+        return [plan_camera_job(workloads[index % 2], mode,
+                                camera=f"cam-{index:02d}")
+                for index in range(8)]
+
+    def _assert_fleet_reports_match(self, serial, parallel):
+        assert serial.parity_mismatches(parallel, TOLERANCE) == []
+
+    @pytest.mark.parametrize("num_edges", [1, 3, 4])
+    def test_highway_fleet_parallel_matches_serial(self, highway_jobs,
+                                                   num_edges):
+        serial = FleetOrchestrator(highway_jobs, num_edge_servers=num_edges,
+                                   policy="least-loaded").run()
+        parallel = FleetOrchestrator(highway_jobs, num_edge_servers=num_edges,
+                                     policy="least-loaded",
+                                     fleet_workers=2).run()
+        self._assert_fleet_reports_match(serial, parallel)
+
+    def test_end_to_end_simulation_with_fleet_workers(self, workload):
+        """``SystemConfig.fleet_workers`` flows through the deployment
+        simulation unchanged: every Figure 4/5 metric is preserved."""
+        mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
+        workloads = [workload] * 4
+        serial = EndToEndSimulation(workloads, SystemConfig(),
+                                    num_edge_servers=2).run(mode)
+        parallel = EndToEndSimulation(workloads,
+                                      SystemConfig(fleet_workers=2),
+                                      num_edge_servers=2).run(mode)
+        assert parallel.throughput_fps == pytest.approx(
+            serial.throughput_fps, rel=TOLERANCE)
+        assert parallel.edge_cloud_bytes == serial.edge_cloud_bytes
+        assert parallel.camera_edge_bytes == serial.camera_edge_bytes
+        assert parallel.edge_seconds == pytest.approx(serial.edge_seconds,
+                                                      rel=TOLERANCE)
+        self._assert_fleet_reports_match(serial.fleet, parallel.fleet)

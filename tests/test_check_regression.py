@@ -1,0 +1,208 @@
+"""The CI perf gate (``benchmarks/check_regression.py``).
+
+Acceptance contract: the gate goes red on an injected 2x slowdown of any
+hot-path section and green when the fresh report matches the committed
+baseline.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "benchmarks", "check_regression.py"))
+check_regression = importlib.util.module_from_spec(_SPEC)
+sys.modules[_SPEC.name] = check_regression
+_SPEC.loader.exec_module(check_regression)
+
+
+def make_run(entries):
+    return {
+        "report": "hotpaths",
+        "python": "3.11.0",
+        "context": {"duration_seconds": 8.0, "render_scale": 0.05},
+        "entries": [
+            {"name": name, "value": value, "unit": unit, "params": {}}
+            for name, value, unit in entries
+        ],
+    }
+
+
+BASELINE_ENTRIES = [
+    ("entropy_encode.baseline", 0.0050, "seconds"),
+    ("entropy_encode.optimised", 0.0003, "seconds"),
+    ("entropy_encode.speedup", 16.7, "ratio"),
+    ("scheduler_event_loop", 0.040, "seconds"),
+    ("scheduler_event_loop.events_per_second", 500_000.0, "items_per_second"),
+    ("build_workloads.cold", 14.0, "seconds"),
+    ("prepare_dataset.warm_cached", 2e-5, "seconds"),
+]
+
+
+@pytest.fixture()
+def baseline_run():
+    return make_run(BASELINE_ENTRIES)
+
+
+def slowed(run, factor=2.0):
+    """The same run record with every measurement ``factor``-times worse."""
+    worse = copy.deepcopy(run)
+    for entry in worse["entries"]:
+        if entry["unit"] == "seconds":
+            entry["value"] *= factor
+        else:
+            entry["value"] /= factor
+    return worse
+
+
+class TestCompareRuns:
+    def test_identical_runs_are_green(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run, baseline_run)
+        assert deltas
+        assert not any(delta.failed for delta in deltas)
+
+    def test_two_x_slowdown_goes_red(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run,
+                                               slowed(baseline_run))
+        failed = {delta.name for delta in deltas if delta.failed}
+        assert "scheduler_event_loop" in failed
+        assert "scheduler_event_loop.events_per_second" in failed
+        assert "entropy_encode.speedup" in failed
+        assert "build_workloads.cold" in failed
+
+    def test_reference_probes_never_gate(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run,
+                                               slowed(baseline_run, 10.0))
+        by_name = {delta.name: delta for delta in deltas}
+        assert not by_name["entropy_encode.baseline"].gated
+        assert not by_name["entropy_encode.baseline"].failed
+
+    def test_noise_floor_skips_tiny_timings(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run,
+                                               slowed(baseline_run))
+        by_name = {delta.name: delta for delta in deltas}
+        assert not by_name["prepare_dataset.warm_cached"].gated
+        assert not by_name["entropy_encode.optimised"].gated
+        # Lowering the floor brings them into the gate.
+        strict = check_regression.compare_runs(
+            baseline_run, slowed(baseline_run), min_seconds=1e-6)
+        by_name = {delta.name: delta for delta in strict}
+        assert by_name["prepare_dataset.warm_cached"].failed
+
+    def test_within_tolerance_passes(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run,
+                                               slowed(baseline_run, 1.2))
+        assert not any(delta.failed for delta in deltas)
+
+    def test_per_section_tolerance_override(self, baseline_run):
+        worse = slowed(baseline_run, 1.5)
+        default = check_regression.compare_runs(baseline_run, worse)
+        assert any(delta.failed and delta.section == "scheduler_event_loop"
+                   for delta in default)
+        relaxed = check_regression.compare_runs(
+            baseline_run, worse, tolerances={"scheduler_event_loop": 0.8})
+        assert not any(delta.failed and delta.section == "scheduler_event_loop"
+                       for delta in relaxed)
+
+    def test_improvements_never_fail(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run,
+                                               slowed(baseline_run, 0.25))
+        assert not any(delta.failed for delta in deltas)
+
+    def test_entries_missing_from_either_side_are_ignored(self, baseline_run):
+        current = make_run(BASELINE_ENTRIES + [("brand_new", 1.0, "seconds")])
+        deltas = check_regression.compare_runs(baseline_run, current)
+        assert "brand_new" not in {delta.name for delta in deltas}
+
+
+class TestMarkdownRendering:
+    def test_table_carries_deltas_and_verdict(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run,
+                                               slowed(baseline_run))
+        markdown = check_regression.render_markdown(deltas, "hotpaths")
+        assert "| status | metric |" in markdown
+        assert "❌ regressed" in markdown
+        assert "`scheduler_event_loop`" in markdown
+        assert "regressed beyond" in markdown
+
+    def test_green_table_says_so(self, baseline_run):
+        deltas = check_regression.compare_runs(baseline_run, baseline_run)
+        markdown = check_regression.render_markdown(deltas, "hotpaths")
+        assert "All gated measurements within tolerance." in markdown
+        assert "❌" not in markdown
+
+
+class TestMainEntryPoint:
+    def write(self, path, runs):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(runs, handle)
+
+    def test_exit_codes(self, tmp_path, baseline_run, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_path = tmp_path / "baseline.json"
+        green_path = tmp_path / "green.json"
+        red_path = tmp_path / "red.json"
+        self.write(baseline_path, [baseline_run])
+        self.write(green_path, [baseline_run, baseline_run])
+        self.write(red_path, [slowed(baseline_run)])
+        assert check_regression.main(["--baseline", str(baseline_path),
+                                      "--current", str(green_path)]) == 0
+        assert check_regression.main(["--baseline", str(baseline_path),
+                                      "--current", str(red_path)]) == 1
+        assert "Perf gate" in capsys.readouterr().out
+
+    def test_latest_run_is_compared(self, tmp_path, baseline_run, monkeypatch):
+        """Bench files accumulate runs; only the newest record gates."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        self.write(baseline_path, [baseline_run])
+        # An old red run followed by a fresh green one must pass.
+        self.write(current_path, [slowed(baseline_run), baseline_run])
+        assert check_regression.main(["--baseline", str(baseline_path),
+                                      "--current", str(current_path)]) == 0
+
+    def test_github_step_summary_appended(self, tmp_path, baseline_run,
+                                          monkeypatch, capsys):
+        summary_path = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary_path))
+        baseline_path = tmp_path / "baseline.json"
+        self.write(baseline_path, [baseline_run])
+        check_regression.main(["--baseline", str(baseline_path),
+                               "--current", str(baseline_path)])
+        capsys.readouterr()
+        assert "Perf gate" in summary_path.read_text()
+
+    def test_tolerance_option_parsing(self):
+        parsed = check_regression.parse_tolerances(
+            ["entropy_encode=0.5", "nn_inference=0.8"])
+        assert parsed == {"entropy_encode": 0.5, "nn_inference": 0.8}
+        with pytest.raises(Exception):
+            check_regression.parse_tolerances(["bogus"])
+
+    def test_empty_bench_file_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.json"
+        self.write(path, [])
+        with pytest.raises(ValueError):
+            check_regression.latest_run(str(path))
+
+    def test_gate_fails_when_nothing_is_gated(self, tmp_path, baseline_run,
+                                              monkeypatch, capsys):
+        """Renamed entries (empty intersection) must fail loudly, not pass
+        vacuously with the gate silently disabled."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        renamed = make_run([(f"new.{name}", value, unit)
+                            for name, value, unit in BASELINE_ENTRIES])
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        self.write(baseline_path, [baseline_run])
+        self.write(current_path, [renamed])
+        assert check_regression.main(["--baseline", str(baseline_path),
+                                      "--current", str(current_path)]) == 1
+        assert "no gated measurements" in capsys.readouterr().err

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, DatasetError
-from repro.video import (GeneratedVideo, ObjectClassSpec, RawVideo, Resolution,
+from repro.video import (ObjectClassSpec, RawVideo, Resolution,
                          SceneProfile, SyntheticScene, VideoMetadata,
                          generate_script, make_scenario, SCENARIOS,
                          LABELLED_SCENARIOS)
