@@ -4,12 +4,15 @@ Besides the pytest-benchmark timing, the harness records its end-to-end
 wall-clock into ``BENCH_figure4.json``: the cold workload build (rendering,
 analysis, tuning, encoding), the warm rebuild through the in-process
 prepared-dataset cache, the warm rebuild through the *on-disk* cache (what
-a second Python session pays), and the deployment replay itself.
+a second Python session pays), the cold *parallel* build
+(``build_workers=2`` into its own fresh cache directory, asserted
+byte-identical to the serial artifacts), and the deployment replay itself.
 """
 
 import pytest
 
 from repro.core import DeploymentMode
+from repro.datasets.diskcache import cache_dir, temporary_cache_dir, tree_digest
 from repro.experiments import figure4, prepare_dataset
 from repro.experiments.common import clear_prepared_cache
 from repro.perf import Stopwatch
@@ -21,7 +24,7 @@ def figure4_report(bench_report_factory):
 
 
 @pytest.fixture(scope="module")
-def workloads(bench_config_small, figure4_report):
+def workloads(bench_config_small, figure4_report, tmp_path_factory):
     """Workloads over all five Table I datasets (shared with Figure 5)."""
     with Stopwatch() as cold:
         built = figure4.build_workloads(bench_config_small)
@@ -49,6 +52,33 @@ def workloads(bench_config_small, figure4_report):
     figure4_report.record_speedup("workload_cache", cold.elapsed_seconds,
                                   disk_warm.elapsed_seconds,
                                   datasets=len(rebuilt))
+    # Cold *parallel* build into its own fresh cache directory: times the
+    # build_workers=2 fan-out against the serial cold build above and
+    # asserts the byte-identity contract at bench scale — every cache
+    # artifact the workers wrote must equal the serial session's.  The
+    # gated metric is the machine-relative serial/parallel ratio: on a
+    # multi-core runner it exceeds 1, on a single-core one the pool
+    # overhead keeps it just under; either way a collapse means the
+    # parallel path broke, not that the runner was slow.
+    serial_cache = cache_dir()
+    clear_prepared_cache()
+    with temporary_cache_dir(tmp_path_factory.mktemp("parallel-cache")) as parallel_cache:
+        with Stopwatch() as parallel_cold:
+            parallel_built = figure4.build_workloads(bench_config_small,
+                                                     build_workers=2)
+    figure4_report.record("build_workloads.cold_parallel",
+                          parallel_cold.elapsed_seconds, "seconds",
+                          datasets=len(parallel_built), build_workers=2)
+    figure4_report.record("build_parallel.vs_serial",
+                          cold.elapsed_seconds
+                          / max(parallel_cold.elapsed_seconds, 1e-9),
+                          "ratio", datasets=len(parallel_built),
+                          build_workers=2)
+    assert tree_digest(parallel_cache) == tree_digest(serial_cache), (
+        "parallel build produced different cache artifacts than serial")
+    # Drop the parallel-built in-process layer so later harnesses resolve
+    # against the session cache directory again.
+    clear_prepared_cache()
     return built
 
 

@@ -32,6 +32,13 @@ Usage::
 
 The *section* of an entry is its name up to the first dot
 (``entropy_encode.optimised`` -> ``entropy_encode``).
+
+``--require NAME`` (repeatable; a section or a full entry name) fails the
+gate when no gated measurement matching it was compared — protecting
+contract measurements (the cache-speedup ratio, the parallel-build ratio)
+from being renamed or dropped and silently falling out of the gate.  Pin
+the full entry name (``workload_cache.speedup``) when the contract is one
+specific entry of a multi-entry section.
 """
 
 from __future__ import annotations
@@ -204,6 +211,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=DEFAULT_MIN_SECONDS,
                         help="noise floor below which seconds entries are "
                              "skipped (default 0.005)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a gated measurement with this "
+                             "section or exact entry name was compared "
+                             "(repeatable)")
     arguments = parser.parse_args(argv)
 
     deltas = compare_runs(
@@ -224,6 +236,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # than silently disabling the regression check.
         print("ERROR: no gated measurements — baseline and current runs "
               "share no comparable gated entries", file=sys.stderr)
+        return 1
+    missing = [required for required in arguments.require
+               if not any(delta.gated and required in (delta.section,
+                                                       delta.name)
+                          for delta in deltas)]
+    if missing:
+        # A required contract measurement fell out of the comparison
+        # (renamed entry, dropped measurement): fail rather than pass
+        # vacuously.
+        print("ERROR: required gated measurement(s) missing from the "
+              f"comparison: {', '.join(missing)}", file=sys.stderr)
         return 1
     return 1 if any(delta.failed for delta in deltas) else 0
 

@@ -16,9 +16,12 @@ fleet layer (``SystemConfig.fleet_workers``): per-edge pipelines are
 simulated in worker processes and merged deterministically, and the example
 asserts every report matches the single-process run to the 1e-6 contract.
 Table I workloads come from the shared on-disk cache (``REPRO_CACHE_DIR``),
-so a second run skips rendering and tuning entirely.
+so a second run skips rendering and tuning entirely; ``--build-workers N``
+builds a cold cache in parallel through
+:class:`repro.parallel.WorkloadBuilder` (byte-identical artifacts).
 
 Run with:  python examples/fleet_scaling.py [--workers 1,2,4]
+                                            [--build-workers 2]
 """
 
 from __future__ import annotations
@@ -30,8 +33,9 @@ from repro.cluster import FleetOrchestrator, PlacementPolicy
 from repro.core import DeploymentMode, build_workload, plan_camera_job
 from repro.datasets import ALL_DATASETS, DatasetSpec
 from repro.datasets.generator import DatasetInstance
-from repro.experiments import ExperimentConfig, prepare_workload
+from repro.experiments import ExperimentConfig
 from repro.logging_utils import configure_logging
+from repro.parallel import WorkloadBuilder
 from repro.video import RESOLUTION_720P, SyntheticScene, make_scenario
 
 #: Fleet size of the sweep (acceptance floor: at least 16 cameras).
@@ -56,19 +60,22 @@ HIGHWAY_SPEC = DatasetSpec(
     description="fast vehicles crossing a highway overpass", has_labels=False)
 
 
-def build_fleet_workloads(config: SystemConfig):
+def build_fleet_workloads(config: SystemConfig, build_workers: int = 1):
     """One workload per distinct feed: the five Table I datasets + highway.
 
     Table I feeds go through the shared workload cache (in-process + disk
-    under ``REPRO_CACHE_DIR``); the ad-hoc highway scenario is built
-    directly since it has no registry entry to key a cache artifact on.
+    under ``REPRO_CACHE_DIR``) via :class:`repro.parallel.WorkloadBuilder`
+    — with ``build_workers > 1`` the cold builds fan out across worker
+    processes and still produce byte-identical cache artifacts.  The
+    ad-hoc highway scenario is built directly since it has no registry
+    entry to key a cache artifact on.
     """
     experiment_config = ExperimentConfig(
         duration_seconds=DURATION_SECONDS, render_scale=RENDER_SCALE,
         datasets=tuple(ALL_DATASETS))
-    workloads = [prepare_workload(name, experiment_config, split="full",
-                                  system_config=config)
-                 for name in ALL_DATASETS]
+    builder = WorkloadBuilder(experiment_config, config,
+                              build_workers=build_workers)
+    workloads = builder.build_workloads(ALL_DATASETS, split="full")
     profile = make_scenario("highway", duration_seconds=DURATION_SECONDS,
                             render_scale=RENDER_SCALE)
     instance = DatasetInstance(spec=HIGHWAY_SPEC, profile=profile,
@@ -139,14 +146,21 @@ def main() -> None:
         "--workers", type=parse_workers, default=[1],
         help="comma-separated fleet_workers counts to sweep (default: 1); "
              "multi-process runs are asserted equal to the serial run")
+    parser.add_argument(
+        "--build-workers", type=int, default=1,
+        help="worker processes for the cold workload build (default: 1); "
+             "parallel builds write byte-identical cache artifacts")
     arguments = parser.parse_args()
+    if arguments.build_workers < 1:
+        parser.error("--build-workers must be >= 1")
     configure_logging()
     config = SystemConfig()
     mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
 
     print(f"Preparing {NUM_CAMERAS}-camera fleet "
-          f"({len(ALL_DATASETS)} Table I feeds + highway, cycled)...")
-    workloads = build_fleet_workloads(config)
+          f"({len(ALL_DATASETS)} Table I feeds + highway, cycled, "
+          f"build_workers={arguments.build_workers})...")
+    workloads = build_fleet_workloads(config, arguments.build_workers)
     jobs = []
     for index in range(NUM_CAMERAS):
         workload = workloads[index % len(workloads)]

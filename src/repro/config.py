@@ -101,6 +101,14 @@ class SystemConfig:
             per-edge pipelines across a ``ProcessPoolExecutor`` and merge
             the results deterministically — the report is equal to the
             serial one regardless of worker count or completion order.
+        build_workers: Worker *processes* used to build experiment
+            workloads (dataset render -> analysis -> tuning -> size-only
+            encodes; see :class:`repro.parallel.WorkloadBuilder`).  ``1``
+            (the default) keeps the serial build path; larger values
+            prepare datasets concurrently, each worker writing its own
+            content-keyed disk-cache entries, and the parent assembles
+            the results deterministically by dataset — byte-identical
+            cache artifacts and equal workload objects either way.
         seed: Root seed for all stochastic components.
     """
 
@@ -112,6 +120,7 @@ class SystemConfig:
     nn_input_resolution: tuple = NN_INPUT_RESOLUTION
     nn_batch_size: int = 16
     fleet_workers: int = 1
+    build_workers: int = 1
     seed: int = 20200601
 
     def __post_init__(self) -> None:
@@ -128,6 +137,8 @@ class SystemConfig:
             raise ConfigurationError("nn_batch_size must be >= 1")
         if self.fleet_workers < 1:
             raise ConfigurationError("fleet_workers must be >= 1")
+        if self.build_workers < 1:
+            raise ConfigurationError("build_workers must be >= 1")
 
     def with_bandwidth(self, edge_cloud_mbps: float) -> "SystemConfig":
         """Return a copy with a different edge->cloud bandwidth."""
@@ -140,6 +151,7 @@ class SystemConfig:
             nn_input_resolution=self.nn_input_resolution,
             nn_batch_size=self.nn_batch_size,
             fleet_workers=self.fleet_workers,
+            build_workers=self.build_workers,
             seed=self.seed,
         )
 

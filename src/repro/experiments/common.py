@@ -19,9 +19,17 @@ This module also owns the two-level artifact cache the harnesses share:
 
 Cache activity is observable through :mod:`repro.perf` stage sections
 (``dataset.render`` / ``dataset.analyze`` / ``dataset.disk_hit`` and
-``workload.build`` / ``workload.disk_hit``) — the warm-session acceptance
-test asserts that a warm run records no ``dataset.render`` section.
-Set ``REPRO_DATASET_CACHE=0`` to disable every layer.
+``workload.build`` / ``workload.disk_hit`` / ``workload.parallel_warm``) —
+the warm-session acceptance test asserts that a warm run records no
+``dataset.render`` section.  Set ``REPRO_DATASET_CACHE=0`` to disable every
+layer.
+
+Builds can fan out across processes: the experiment harnesses accept a
+``build_workers`` count (default ``SystemConfig.build_workers``) and route
+through :class:`repro.parallel.WorkloadBuilder`, which warms the disk cache
+from worker processes and assembles identical results here.  While a build
+is in flight its cache keys are pinned (:func:`repro.datasets.diskcache.pinned`)
+so the ``REPRO_CACHE_MAX_BYTES`` LRU sweep cannot evict them.
 """
 
 from __future__ import annotations
@@ -158,9 +166,13 @@ def _cache_key(name: str, config: ExperimentConfig, split: str,
             float(config.render_scale), base_parameters)
 
 
-def _dataset_disk_key(name: str, config: ExperimentConfig, split: str,
-                      base_parameters: EncoderParameters) -> str:
-    """Disk-cache key of one prepared dataset (same inputs as L1)."""
+def dataset_disk_key(name: str, config: ExperimentConfig, split: str,
+                     base_parameters: EncoderParameters) -> str:
+    """Disk-cache key of one prepared dataset (same inputs as L1).
+
+    Public so the parallel :class:`~repro.parallel.WorkloadBuilder` can pin
+    the entries of an active build against the LRU sweep.
+    """
     return diskcache.content_key(
         DATASET_CACHE_KIND, name, split, float(config.duration_seconds),
         float(config.render_scale), base_parameters)
@@ -182,12 +194,15 @@ def prepare_dataset(name: str, config: ExperimentConfig, split: str = "test",
     key = _cache_key(name, config, split, base_parameters)
     prepared = _PREPARED_CACHE.get(key)
     if prepared is None:
-        disk_key = _dataset_disk_key(name, config, split, base_parameters)
-        prepared = _load_prepared_from_disk(name, config, split, disk_key)
-        if prepared is None:
-            prepared = _prepare_dataset_uncached(name, config, split,
-                                                 base_parameters)
-            _store_prepared_to_disk(disk_key, name, config, split, prepared)
+        disk_key = dataset_disk_key(name, config, split, base_parameters)
+        # Pinned while in flight so a concurrent budget sweep (triggered by
+        # another store in this process) cannot evict the entry mid-build.
+        with diskcache.pinned([(DATASET_CACHE_KIND, disk_key)]):
+            prepared = _load_prepared_from_disk(name, config, split, disk_key)
+            if prepared is None:
+                prepared = _prepare_dataset_uncached(name, config, split,
+                                                     base_parameters)
+                _store_prepared_to_disk(disk_key, name, config, split, prepared)
         _PREPARED_CACHE[key] = prepared
     return prepared
 
@@ -373,6 +388,20 @@ def _workload_key_parts(name: str, config: ExperimentConfig, split: str,
             float(H264_EFFICIENCY_FACTOR))
 
 
+def workload_disk_key(name: str, config: ExperimentConfig, split: str,
+                      base_parameters: EncoderParameters,
+                      system_config: SystemConfig, target_f1: float,
+                      unlabelled_sample_period_seconds: float) -> str:
+    """Disk-cache key of one condensed workload artifact.
+
+    Public so the parallel :class:`~repro.parallel.WorkloadBuilder` can pin
+    the entries of an active build against the LRU sweep.
+    """
+    return diskcache.content_key(*_workload_key_parts(
+        name, config, split, base_parameters, system_config, target_f1,
+        unlabelled_sample_period_seconds))
+
+
 def prepare_workload(name: str, config: ExperimentConfig, split: str = "full",
                      system_config: Optional[SystemConfig] = None,
                      base_parameters: EncoderParameters = DEFAULT_PARAMETERS,
@@ -406,17 +435,25 @@ def prepare_workload(name: str, config: ExperimentConfig, split: str = "full",
     if workload is not None:
         return workload
     disk_key = diskcache.content_key(*key_parts)
-    workload = _load_workload_from_disk(name, disk_key)
-    if workload is None:
-        prepared = prepare_dataset(name, config, split, base_parameters)
-        with perf_section("workload.build"):
-            workload = build_workload(prepared.instance, config=system_config,
-                                      default_parameters=base_parameters,
-                                      target_f1=target_f1,
-                                      unlabelled_sample_period_seconds=(
-                                          unlabelled_sample_period_seconds),
-                                      activities=prepared.activities)
-        _store_workload_to_disk(disk_key, name, workload)
+    # Pin both artifacts of the build in flight: the workload entry being
+    # (re)built and the prepared dataset it reads, so an LRU sweep riding
+    # on another store cannot evict either from underneath the build.
+    pins = [(WORKLOAD_CACHE_KIND, disk_key),
+            (DATASET_CACHE_KIND, dataset_disk_key(name, config, split,
+                                                  base_parameters))]
+    with diskcache.pinned(pins):
+        workload = _load_workload_from_disk(name, disk_key)
+        if workload is None:
+            prepared = prepare_dataset(name, config, split, base_parameters)
+            with perf_section("workload.build"):
+                workload = build_workload(prepared.instance,
+                                          config=system_config,
+                                          default_parameters=base_parameters,
+                                          target_f1=target_f1,
+                                          unlabelled_sample_period_seconds=(
+                                              unlabelled_sample_period_seconds),
+                                          activities=prepared.activities)
+            _store_workload_to_disk(disk_key, name, workload)
     _WORKLOAD_CACHE[key_parts] = workload
     return workload
 

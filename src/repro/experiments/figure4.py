@@ -20,7 +20,8 @@ from ..core.deployment import ALL_DEPLOYMENT_MODES, DeploymentMode
 from ..core.pipeline import (DeploymentReport, EndToEndSimulation,
                              VideoWorkload)
 from ..datasets.registry import ALL_DATASETS
-from .common import ExperimentConfig, format_table, prepare_workload
+from ..parallel.workloads import WorkloadBuilder
+from .common import ExperimentConfig, format_table
 
 #: The corpus sizes on Figure 4's x-axis.
 DEFAULT_VIDEO_COUNTS: Sequence[int] = (1, 3, 5)
@@ -28,7 +29,8 @@ DEFAULT_VIDEO_COUNTS: Sequence[int] = (1, 3, 5)
 
 def build_workloads(config: ExperimentConfig = ExperimentConfig(),
                     dataset_names: Sequence[str] = ALL_DATASETS,
-                    system_config: Optional[SystemConfig] = None
+                    system_config: Optional[SystemConfig] = None,
+                    build_workers: Optional[int] = None
                     ) -> List[VideoWorkload]:
     """Prepare the per-video workloads used by Figures 4 and 5.
 
@@ -38,11 +40,16 @@ def build_workloads(config: ExperimentConfig = ExperimentConfig(),
     sample sets) is persisted under ``REPRO_CACHE_DIR`` — so warm repeat
     preparations (the Figure 5 harness, benchmark re-runs, a second pytest
     session) skip rendering, tuning and encoding entirely.
+
+    With ``build_workers > 1`` (or ``system_config.build_workers > 1``)
+    the per-dataset builds fan out across worker processes through
+    :class:`repro.parallel.WorkloadBuilder`; the result (and every cache
+    artifact) is identical to the serial build.
     """
     system_config = system_config or SystemConfig()
-    return [prepare_workload(name, config, split="full",
-                             system_config=system_config)
-            for name in dataset_names]
+    builder = WorkloadBuilder(config, system_config,
+                              build_workers=build_workers)
+    return builder.build_workloads(dataset_names, split="full")
 
 
 def run(workloads: Optional[List[VideoWorkload]] = None,

@@ -19,7 +19,8 @@ from typing import Dict, List, Optional
 from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters, KeyframePlacer
 from ..core.metrics import evaluate_sampling
 from ..core.tuner import SemanticEncoderTuner, TuningGrid
-from .common import ExperimentConfig, PreparedDataset, format_table, prepare_dataset
+from ..parallel.workloads import WorkloadBuilder
+from .common import ExperimentConfig, PreparedDataset, format_table
 
 
 @dataclass
@@ -88,12 +89,21 @@ def run_dataset(train: PreparedDataset, test: PreparedDataset,
 
 
 def run(config: ExperimentConfig = ExperimentConfig(),
-        grid: Optional[TuningGrid] = None) -> List[Table2Row]:
-    """Run Table II over every labelled dataset in ``config``."""
+        grid: Optional[TuningGrid] = None,
+        build_workers: Optional[int] = None) -> List[Table2Row]:
+    """Run Table II over every labelled dataset in ``config``.
+
+    The train/test clips of every dataset are independent cache entries,
+    so with ``build_workers > 1`` the whole ``datasets x splits`` matrix
+    renders concurrently through :class:`repro.parallel.WorkloadBuilder`.
+    """
+    builder = WorkloadBuilder(config, build_workers=build_workers)
+    matrix = builder.prepare_dataset_splits(config.datasets,
+                                            splits=("train", "test"))
     rows: List[Table2Row] = []
     for name in config.datasets:
-        train = prepare_dataset(name, config, split="train")
-        test = prepare_dataset(name, config, split="test")
+        train = matrix[(name, "train")]
+        test = matrix[(name, "test")]
         if train.timeline is None or test.timeline is None:
             continue
         rows.append(run_dataset(train, test, grid))

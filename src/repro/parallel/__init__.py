@@ -2,18 +2,26 @@
 
 The simulators and experiment harnesses are single-threaded by design
 (deterministic virtual clocks, bit-stable numerics); this package is where
-the library crosses process boundaries instead.  The first resident is the
-fleet decomposition — per-edge pipeline simulations sharded over a
-``ProcessPoolExecutor`` with an exact single-pass cloud replay — used by
-:class:`repro.cluster.fleet.FleetOrchestrator` when
-``SystemConfig.fleet_workers > 1``.
+the library crosses process boundaries instead.  Two residents so far:
+
+* the fleet decomposition — per-edge pipeline simulations sharded over a
+  ``ProcessPoolExecutor`` with an exact single-pass cloud replay — used by
+  :class:`repro.cluster.fleet.FleetOrchestrator` when
+  ``SystemConfig.fleet_workers > 1``;
+* the workload builder — dataset render/analyze/tune/encode pipelines
+  sharded per dataset behind the content-keyed disk cache — used by the
+  experiment harnesses when ``SystemConfig.build_workers > 1``.
 """
 
 from .fleet import (EdgeSimResult, EdgeSimTask, empty_edge_result,
                     replay_cloud, run_parallel, simulate_edge,
                     simulate_edge_shard)
+from .workloads import (BuildTask, WorkloadBuilder, execute_build_task,
+                        task_cache_entries)
 
 __all__ = [
     "EdgeSimResult", "EdgeSimTask", "empty_edge_result", "replay_cloud",
     "run_parallel", "simulate_edge", "simulate_edge_shard",
+    "BuildTask", "WorkloadBuilder", "execute_build_task",
+    "task_cache_entries",
 ]

@@ -1,0 +1,280 @@
+"""Parallel workload building: prepare/tune datasets across processes.
+
+The fleet layer (:mod:`repro.parallel.fleet`) parallelises *simulation*;
+this module parallelises the other dominant cold-start cost, workload
+*building* — dataset render -> codec analysis -> offline tuning -> the two
+size-only encodes.  The stages of one dataset form a strict chain, but
+different datasets are completely independent, and every intermediate
+artifact already flows through the content-keyed on-disk cache
+(:mod:`repro.datasets.diskcache`).  That cache is what makes an exact
+parallel decomposition trivial:
+
+1. **Workers** (one task per ``(artifact, dataset, split)``, sharded over a
+   ``ProcessPoolExecutor``) each run the ordinary serial build of their
+   dataset — the same :func:`~repro.experiments.common.prepare_dataset` /
+   :func:`~repro.experiments.common.prepare_workload` code path — which
+   persists the prepared-dataset and workload bundles under their per-task
+   content keys.  Tasks never share a key, so workers never contend on an
+   entry; two builders racing the *same* corpus at worst double-render one
+   entry (the loser's atomic rename overwrites identical bytes).
+2. **The parent** then assembles the results in the caller's dataset
+   order by running the very same serial path, which now finds every
+   artifact on disk.  The assembled workload objects are reconstructed
+   from the same bundles a warm serial session would read, and the cache
+   artifacts were produced by the same serialisation code the serial
+   build runs — so parallel builds are **byte-identical** on disk and
+   value-identical in memory to serial builds, regardless of worker count
+   or completion order.
+
+``SystemConfig.build_workers == 1`` (the default) bypasses the fan-out
+entirely; the parity of the two paths is pinned by
+``tests/parallel/test_workload_builder.py``.  When process pools are
+unavailable (restricted sandboxes) or the artifact cache is disabled
+(``REPRO_DATASET_CACHE=0`` — there is no disk hand-off to assemble from),
+the builder silently degrades to the serial path: same results, no
+parallelism.  Workers inherit ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_BYTES``
+through the environment; the parent pins every key of the active build
+(:func:`repro.datasets.diskcache.pinned`) so a concurrent LRU sweep cannot
+evict artifacts mid-assembly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..logging_utils import get_logger
+from ..perf import section as perf_section
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only.
+    from ..core.pipeline import VideoWorkload
+    from ..experiments.common import ExperimentConfig, PreparedDataset
+
+_LOGGER = get_logger(__name__)
+
+#: Artifact kinds a :class:`BuildTask` can produce.
+DATASET_ARTIFACT = "dataset"
+WORKLOAD_ARTIFACT = "workload"
+
+
+@dataclass(frozen=True)
+class BuildTask:
+    """One dataset's build, shipped to a worker process.
+
+    Every field is a plain value or frozen dataclass, so the task pickles
+    across the pool boundary; the worker rebuilds the artifact through the
+    ordinary serial code path, persisting it under the task's content key.
+
+    Attributes:
+        artifact: ``"dataset"`` (render + analysis pass) or ``"workload"``
+            (render + analysis + tuning + both size-only encodes).
+        name: Dataset name.
+        split: Dataset split.
+        config: Footage scale.
+        base_parameters: Analysis-pass encoder parameters.
+        system_config: Simulation config (workload tasks only).
+        target_f1: Tuning target (workload tasks only).
+        unlabelled_sample_period_seconds: Fallback sampling period for
+            unlabelled datasets (workload tasks only).
+    """
+
+    artifact: str
+    name: str
+    split: str
+    config: "ExperimentConfig"
+    base_parameters: EncoderParameters = DEFAULT_PARAMETERS
+    system_config: Optional[SystemConfig] = None
+    target_f1: float = 0.95
+    unlabelled_sample_period_seconds: float = 5.0
+
+
+def execute_build_task(task: BuildTask) -> Tuple[str, str, str]:
+    """Worker entry point: run one task's serial build, warming the cache.
+
+    Must stay importable at module level (and its argument picklable) for
+    the process pool.  Returns ``(artifact, name, split)`` as a completion
+    token; the heavy results travel through the on-disk cache, not the
+    pickle channel.
+    """
+    from ..experiments.common import prepare_dataset, prepare_workload
+    if task.artifact == WORKLOAD_ARTIFACT:
+        prepare_workload(
+            task.name, task.config, task.split, task.system_config,
+            task.base_parameters, task.target_f1,
+            task.unlabelled_sample_period_seconds)
+    elif task.artifact == DATASET_ARTIFACT:
+        prepare_dataset(task.name, task.config, task.split,
+                        task.base_parameters)
+    else:
+        raise ConfigurationError(f"unknown build artifact {task.artifact!r}")
+    return (task.artifact, task.name, task.split)
+
+
+class WorkloadBuilder:
+    """Build experiment workloads, optionally fanning out across processes.
+
+    Args:
+        config: Footage scale shared by every task.
+        system_config: Simulation config; its ``build_workers`` is the
+            default worker count.
+        build_workers: Worker-process override (``None`` defers to
+            ``system_config.build_workers``; ``1`` is the serial path).
+    """
+
+    def __init__(self, config: "ExperimentConfig",
+                 system_config: Optional[SystemConfig] = None,
+                 build_workers: Optional[int] = None) -> None:
+        self.config = config
+        self.system_config = system_config or SystemConfig()
+        self.build_workers = (self.system_config.build_workers
+                              if build_workers is None else build_workers)
+        if self.build_workers < 1:
+            raise ConfigurationError(
+                f"build_workers must be >= 1, got {self.build_workers}")
+
+    # ------------------------------------------------------------------ #
+    # Public build surfaces
+    # ------------------------------------------------------------------ #
+    def prepare_datasets(
+            self, names: Optional[Sequence[str]] = None, split: str = "test",
+            base_parameters: EncoderParameters = EncoderParameters()
+            ) -> Dict[str, "PreparedDataset"]:
+        """Prepare every named dataset (rendered clip + analysis pass).
+
+        Returns ``{name: PreparedDataset}`` in input order; equal to the
+        serial :func:`repro.experiments.common.prepare_datasets` result.
+        """
+        matrix = self.prepare_dataset_splits(names, (split,), base_parameters)
+        return {name: prepared for (name, _), prepared in matrix.items()}
+
+    def prepare_dataset_splits(
+            self, names: Optional[Sequence[str]] = None,
+            splits: Sequence[str] = ("test",),
+            base_parameters: EncoderParameters = EncoderParameters()
+            ) -> Dict[Tuple[str, str], "PreparedDataset"]:
+        """Prepare the ``names x splits`` matrix of datasets.
+
+        Each ``(name, split)`` cell is an independent task (its own content
+        key), so e.g. Table II's train/test pairs build concurrently.
+        """
+        from ..experiments.common import prepare_dataset
+        names = list(self.config.datasets if names is None else names)
+        tasks = [
+            BuildTask(artifact=DATASET_ARTIFACT, name=name, split=split,
+                      config=self.config, base_parameters=base_parameters)
+            for name in names for split in splits
+        ]
+        with self._pinned(tasks):
+            self._warm(tasks)
+            return {
+                (name, split): prepare_dataset(name, self.config, split,
+                                               base_parameters)
+                for name in names for split in splits
+            }
+
+    def build_workloads(
+            self, names: Optional[Sequence[str]] = None, split: str = "full",
+            base_parameters: EncoderParameters = DEFAULT_PARAMETERS,
+            target_f1: float = 0.95,
+            unlabelled_sample_period_seconds: float = 5.0
+            ) -> List["VideoWorkload"]:
+        """Build one :class:`VideoWorkload` per named dataset, in order.
+
+        The heavy stages run in worker processes when ``build_workers > 1``
+        (writing the ordinary cache artifacts); the returned list is always
+        assembled deterministically by dataset order in the parent and is
+        equal to the serial result.
+        """
+        from ..experiments.common import prepare_workload
+        names = list(self.config.datasets if names is None else names)
+        tasks = [
+            BuildTask(artifact=WORKLOAD_ARTIFACT, name=name, split=split,
+                      config=self.config, base_parameters=base_parameters,
+                      system_config=self.system_config, target_f1=target_f1,
+                      unlabelled_sample_period_seconds=(
+                          unlabelled_sample_period_seconds))
+            for name in names
+        ]
+        with self._pinned(tasks):
+            self._warm(tasks)
+            return [
+                prepare_workload(name, self.config, split,
+                                 self.system_config, base_parameters,
+                                 target_f1, unlabelled_sample_period_seconds)
+                for name in names
+            ]
+
+    # ------------------------------------------------------------------ #
+    # Fan-out machinery
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _pinned(self, tasks: Sequence[BuildTask]):
+        """Pin every cache key of the active build for the enclosed block.
+
+        On exit the pins are released and, when a size budget is
+        configured, the cache is swept once more: stores during the build
+        could not evict the pinned working set, so a corpus larger than
+        ``REPRO_CACHE_MAX_BYTES`` would otherwise leave the directory
+        permanently above budget.
+        """
+        from ..datasets import diskcache
+        try:
+            with diskcache.pinned(task_cache_entries(tasks)):
+                yield
+        finally:
+            if diskcache.cache_max_bytes() is not None:
+                diskcache.sweep()
+
+    def _warm(self, tasks: Sequence[BuildTask]) -> None:
+        """Run ``tasks`` across worker processes, warming the disk cache.
+
+        Best-effort by design: the parent's assembly pass recomputes
+        anything a worker failed to persist, so a broken pool, a worker
+        crash, or a read-only cache degrade to the serial path rather
+        than failing the build.  Real build errors (a dataset that cannot
+        render) surface from the assembly pass either way.
+        """
+        from ..experiments.common import dataset_cache_enabled
+        if (self.build_workers <= 1 or len(tasks) <= 1
+                or not dataset_cache_enabled()):
+            return
+        workers = min(self.build_workers, len(tasks))
+        try:
+            with perf_section("workload.parallel_warm"):
+                # One pool submission per task: the pool's queue balances
+                # uneven task costs dynamically (tasks never share a cache
+                # key, so any assignment of tasks to workers is correct).
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for future in [pool.submit(execute_build_task, task)
+                                   for task in tasks]:
+                        future.result()
+        except Exception as error:  # noqa: BLE001 - degrade, never fail
+            _LOGGER.warning(
+                "parallel workload warm-up failed (%s: %s); "
+                "falling back to the serial build path",
+                type(error).__name__, error)
+
+
+def task_cache_entries(tasks: Sequence[BuildTask]) -> List[Tuple[str, str]]:
+    """The ``(kind, key)`` disk-cache entries ``tasks`` will read/write.
+
+    A workload task owns two entries (its prepared dataset and the
+    condensed workload artifact); a dataset task owns one.
+    """
+    from ..experiments.common import (DATASET_CACHE_KIND, WORKLOAD_CACHE_KIND,
+                                      dataset_disk_key, workload_disk_key)
+    entries: List[Tuple[str, str]] = []
+    for task in tasks:
+        entries.append((DATASET_CACHE_KIND, dataset_disk_key(
+            task.name, task.config, task.split, task.base_parameters)))
+        if task.artifact == WORKLOAD_ARTIFACT:
+            entries.append((WORKLOAD_CACHE_KIND, workload_disk_key(
+                task.name, task.config, task.split, task.base_parameters,
+                task.system_config or SystemConfig(), task.target_f1,
+                task.unlabelled_sample_period_seconds)))
+    return entries

@@ -114,6 +114,41 @@ class TestStoreLoad:
                             diskcache.CACHE_SCHEMA_VERSION + 1)
         assert diskcache.load("unit", key) is None
 
+    def test_missing_sibling_json_is_still_a_hit(self, cache_dir):
+        """Partial deletion, order 1: the sibling ``.json`` is lost.
+
+        The authoritative manifest is embedded in the bundle, so the load
+        must hit — and the sibling (the entry's LRU access-time carrier)
+        must be restored from the embedded copy.
+        """
+        key = diskcache.content_key("lost-sibling")
+        path = diskcache.store("unit", key, {"x": np.arange(7)}, {"a": 1})
+        sibling = path[:-len(".npz")] + ".json"
+        os.unlink(sibling)
+        loaded = diskcache.load("unit", key)
+        assert loaded is not None
+        arrays, manifest = loaded
+        assert np.array_equal(arrays["x"], np.arange(7))
+        assert manifest["a"] == 1
+        # The sibling was rewritten from the embedded manifest.
+        assert os.path.exists(sibling)
+        with open(sibling, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["a"] == 1
+
+    def test_missing_npz_with_lingering_json_is_a_miss(self, cache_dir):
+        """Partial deletion, order 2: the bundle is lost, the ``.json``
+        lingers.  Must be a clean miss that also removes the orphan (it
+        would otherwise sit in the cache directory forever)."""
+        key = diskcache.content_key("lost-bundle")
+        path = diskcache.store("unit", key, {"x": np.arange(7)})
+        sibling = path[:-len(".npz")] + ".json"
+        os.unlink(path)
+        assert diskcache.load("unit", key) is None
+        assert not os.path.exists(sibling)
+        # A re-store after the cleanup works normally.
+        diskcache.store("unit", key, {"x": np.arange(7)})
+        assert diskcache.load("unit", key) is not None
+
     def test_wrong_kind_is_a_miss(self, cache_dir):
         key = diskcache.content_key("kinds")
         diskcache.store("kind-a", key, {"x": np.arange(3)})

@@ -1,0 +1,197 @@
+"""LRU size budget of the on-disk cache (``REPRO_CACHE_MAX_BYTES``).
+
+Contract: with a budget configured every store triggers a sweep that
+evicts least-recently-*used* entries (access time carried by the sibling
+``.json`` manifest, refreshed on every verified hit) until the cache fits,
+never touching pinned entries of the active build.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import diskcache
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path))
+    monkeypatch.delenv(diskcache.CACHE_MAX_BYTES_ENV, raising=False)
+    return tmp_path
+
+
+def store_blob(key, size=80_000, kind="unit", seed=0):
+    """Store ~``size`` bytes of incompressible payload under ``key``."""
+    payload = np.random.default_rng(seed).integers(
+        0, 255, size, dtype=np.int64).astype(np.uint8)
+    return diskcache.store(kind, key, {"payload": payload})
+
+
+def set_atime(kind, key, when):
+    """Backdate an entry's LRU clock (sibling manifest mtime)."""
+    path = diskcache.artifact_path(kind, key)
+    os.utime(path[:-len(".npz")] + ".json", (when, when))
+
+
+class TestBudgetParsing:
+    def test_unset_means_unlimited(self, monkeypatch):
+        monkeypatch.delenv(diskcache.CACHE_MAX_BYTES_ENV, raising=False)
+        assert diskcache.cache_max_bytes() is None
+        monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV, "")
+        assert diskcache.cache_max_bytes() is None
+
+    def test_zero_and_negative_mean_unlimited(self, monkeypatch):
+        for raw in ("0", "-1"):
+            monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV, raw)
+            assert diskcache.cache_max_bytes() is None
+
+    def test_byte_counts_parse(self, monkeypatch):
+        monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV, "1048576")
+        assert diskcache.cache_max_bytes() == 1048576
+        monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV, "2.5e6")
+        assert diskcache.cache_max_bytes() == 2_500_000
+
+    def test_garbage_is_ignored_as_unlimited(self, monkeypatch):
+        """The budget is first consulted mid-build (inside ``store``); a
+        typo'd value must degrade to unlimited with a warning, never crash
+        a run minutes into a render."""
+        for raw in ("lots", "inf", "nan"):
+            monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV, raw)
+            assert diskcache.cache_max_bytes() is None
+
+
+class TestSweep:
+    def test_oldest_entries_evicted_first(self, cache_dir):
+        now = time.time()
+        for index in range(3):
+            store_blob(f"k{index}", seed=index)
+            set_atime("unit", f"k{index}", now - 100 + index)
+        entries = {(e.kind, e.key): e for e in diskcache.scan_entries()}
+        total = diskcache.cache_total_bytes()
+        oldest_size = entries[("unit", "k0")].size_bytes
+        result = diskcache.sweep(max_bytes=total - oldest_size)
+        assert result.evicted == [("unit", "k0")]
+        assert result.total_bytes_after <= total - oldest_size
+        assert diskcache.load("unit", "k0") is None
+        assert diskcache.load("unit", "k2") is not None
+
+    def test_sweep_reports_sizes(self, cache_dir):
+        store_blob("sized")
+        result = diskcache.sweep(max_bytes=10**9)
+        assert result.total_bytes_before == diskcache.cache_total_bytes()
+        assert result.total_bytes_after == result.total_bytes_before
+        assert result.evicted == []
+
+    def test_within_budget_evicts_nothing(self, cache_dir):
+        store_blob("keep-a", seed=1)
+        store_blob("keep-b", seed=2)
+        result = diskcache.sweep(max_bytes=diskcache.cache_total_bytes())
+        assert result.evicted == []
+
+    def test_no_budget_only_cleans_orphans(self, cache_dir):
+        path = store_blob("orphaned")
+        os.unlink(path)  # leave the sibling .json behind
+        store_blob("survivor", seed=3)
+        result = diskcache.sweep()
+        assert result.orphans_removed == 1
+        assert result.evicted == []
+        assert diskcache.load("unit", "survivor") is not None
+
+    def test_load_refreshes_lru_order(self, cache_dir):
+        now = time.time()
+        store_blob("stale", seed=1)
+        store_blob("fresh", seed=2)
+        set_atime("unit", "stale", now - 50)
+        set_atime("unit", "fresh", now - 40)
+        # Touch "stale" through a verified hit: it becomes the newest.
+        assert diskcache.load("unit", "stale") is not None
+        total = diskcache.cache_total_bytes()
+        diskcache.sweep(max_bytes=total - 1)
+        assert diskcache.load("unit", "stale") is not None
+        assert diskcache.load("unit", "fresh") is None
+
+    def test_missing_sibling_falls_back_to_bundle_mtime(self, cache_dir):
+        now = time.time()
+        old_path = store_blob("no-sibling", seed=1)
+        os.unlink(old_path[:-len(".npz")] + ".json")
+        os.utime(old_path, (now - 100, now - 100))
+        store_blob("younger", seed=2)
+        total = diskcache.cache_total_bytes()
+        result = diskcache.sweep(max_bytes=total - 1)
+        assert ("unit", "no-sibling") in result.evicted
+        assert diskcache.load("unit", "younger") is not None
+
+    def test_failed_evictions_are_reported_not_counted(self, cache_dir,
+                                                       monkeypatch):
+        """An entry the process cannot unlink must not be booked as
+        evicted — the sweep keeps scanning and reports the failure instead
+        of pretending the budget was met."""
+        store_blob("stuck-a", seed=1)
+        store_blob("stuck-b", seed=2)
+        monkeypatch.setattr(diskcache, "evict", lambda *args, **kwargs: False)
+        result = diskcache.sweep(max_bytes=1)
+        assert result.evicted == []
+        assert result.evict_failures == 2
+        assert result.total_bytes_after == result.total_bytes_before
+
+    def test_sweep_across_kinds(self, cache_dir):
+        now = time.time()
+        store_blob("entry", kind="kind-a", seed=1)
+        store_blob("entry", kind="kind-b", seed=2)
+        set_atime("kind-a", "entry", now - 100)
+        set_atime("kind-b", "entry", now - 10)
+        total = diskcache.cache_total_bytes()
+        result = diskcache.sweep(max_bytes=total - 1)
+        assert result.evicted == [("kind-a", "entry")]
+
+
+class TestPinning:
+    def test_pinned_entries_survive_any_budget(self, cache_dir):
+        now = time.time()
+        store_blob("pinned-entry", seed=1)
+        store_blob("victim", seed=2)
+        set_atime("unit", "pinned-entry", now - 100)  # oldest, prime victim
+        with diskcache.pinned([("unit", "pinned-entry")]):
+            result = diskcache.sweep(max_bytes=1)
+        assert ("unit", "pinned-entry") not in result.evicted
+        assert result.kept_pinned == 1
+        assert diskcache.load("unit", "pinned-entry") is not None
+        assert diskcache.load("unit", "victim") is None
+
+    def test_pins_nest_and_unwind(self):
+        entry = ("unit", "nested")
+        with diskcache.pinned([entry]):
+            with diskcache.pinned([entry]):
+                assert entry in diskcache.pinned_entries()
+            assert entry in diskcache.pinned_entries()
+        assert entry not in diskcache.pinned_entries()
+
+    def test_extra_pinned_argument(self, cache_dir):
+        now = time.time()
+        store_blob("inline-pin", seed=1)
+        set_atime("unit", "inline-pin", now - 100)
+        result = diskcache.sweep(max_bytes=1,
+                                 extra_pinned=[("unit", "inline-pin")])
+        assert ("unit", "inline-pin") not in result.evicted
+
+
+class TestAutoSweepOnStore:
+    def test_store_enforces_the_env_budget(self, cache_dir, monkeypatch):
+        store_blob("first", seed=1)
+        per_entry = diskcache.cache_total_bytes()
+        monkeypatch.setenv(diskcache.CACHE_MAX_BYTES_ENV,
+                           str(int(per_entry * 1.5)))
+        time.sleep(0.02)  # distinct mtimes on coarse filesystems
+        store_blob("second", seed=2)
+        # Budget fits ~1.5 entries: the sweep triggered by the second store
+        # evicts the first and keeps the (pinned) entry just written.
+        assert diskcache.cache_total_bytes() <= int(per_entry * 1.5)
+        assert diskcache.load("unit", "second") is not None
+        assert diskcache.load("unit", "first") is None
+
+    def test_no_budget_no_sweep(self, cache_dir):
+        for index in range(4):
+            store_blob(f"grow-{index}", seed=index)
+        assert len(list(diskcache.list_keys("unit"))) == 4

@@ -145,6 +145,80 @@ print(json.dumps({{
 """
 
 
+#: One self-contained session running Figure 3 and Tables I-III at a tiny
+#: scale; dumps the perf stage sections (call counts) plus a value
+#: fingerprint as JSON on stdout.  Wall-clock-dependent values (Table III's
+#: measured fps) are deliberately excluded from the fingerprint.
+_FIGURES_TABLES_SCRIPT = """
+import json
+import sys
+
+sys.path.insert(0, {src!r})
+from repro.codec.gop import EncoderParameters
+from repro.experiments import (ExperimentConfig, figure3, table1, table2,
+                               table3)
+from repro.perf import get_recorder
+
+config = ExperimentConfig(duration_seconds=5.0, render_scale=0.05,
+                          datasets=("jackson_square",))
+points = figure3.run(
+    config, sieve_sweep=[EncoderParameters(gop_size=100,
+                                           scenecut_threshold=0.0)],
+    include_sift=False)
+table1_rows = table1.run(config, verify_synthetic=True)
+table2_rows = table2.run(config)
+table3_rows = table3.run(config, measure_wallclock=True)
+summary = get_recorder().summary()
+print(json.dumps({{
+    "sections": {{name: stats["calls"] for name, stats in summary.items()}},
+    "fingerprint": {{
+        "figure3": [[p.dataset, p.method, p.sampling_fraction, p.accuracy]
+                    for p in points],
+        "table1": [[row["dataset"], row["synthetic_labels"],
+                    row["synthetic_events"]] for row in table1_rows],
+        "table2": [[row.dataset, row.semantic_parameters.describe(),
+                    row.semantic_accuracy, row.semantic_sampling,
+                    row.default_accuracy] for row in table2_rows],
+        "table3": [[row.dataset, row.sieve_fps, row.mse_fps, row.sift_fps]
+                   for row in table3_rows],
+    }},
+}}))
+"""
+
+
+class TestFiguresAndTablesSecondSessionWarm:
+    def test_figure3_and_tables_are_cache_pinned(self, cache_dir):
+        """Figure 3 and Tables I-III all route their footage through
+        ``prepare_dataset``/``prepare_workload`` now: a second interpreter
+        session with a warm ``REPRO_CACHE_DIR`` must reproduce every value
+        without rendering, analyzing, tuning or building anything."""
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        script = _FIGURES_TABLES_SCRIPT.format(src=src)
+        env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir))
+
+        def run_session():
+            result = subprocess.run([sys.executable, "-c", script], env=env,
+                                    capture_output=True, text=True,
+                                    timeout=600)
+            assert result.returncode == 0, result.stderr
+            return json.loads(result.stdout)
+
+        first = run_session()
+        # The cold session rendered at least figure3/table2/table3's
+        # jackson_square splits (test + train) and Table I's full-split
+        # corpus, sharing every overlapping (name, split) preparation.
+        assert first["sections"].get("dataset.render", 0) >= 3
+
+        second = run_session()
+        for heavy_stage in ("dataset.render", "dataset.analyze",
+                            "workload.build", "pipeline.tune",
+                            "pipeline.encode", "pipeline.mse_baseline"):
+            assert heavy_stage not in second["sections"], heavy_stage
+        assert second["sections"].get("dataset.disk_hit", 0) >= 3
+        assert second["fingerprint"] == first["fingerprint"]
+
+
 class TestSecondSessionIsWarm:
     def test_second_python_session_skips_all_renders(self, cache_dir):
         """Two real interpreter sessions sharing one ``REPRO_CACHE_DIR``:

@@ -192,6 +192,79 @@ class TestMainEntryPoint:
         with pytest.raises(ValueError):
             check_regression.latest_run(str(path))
 
+    def test_required_section_present_passes(self, tmp_path, baseline_run,
+                                             monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_path = tmp_path / "baseline.json"
+        self.write(baseline_path, [baseline_run])
+        assert check_regression.main([
+            "--baseline", str(baseline_path),
+            "--current", str(baseline_path),
+            "--require", "scheduler_event_loop",
+            "--require", "build_workloads"]) == 0
+        capsys.readouterr()
+
+    def test_required_section_missing_fails(self, tmp_path, baseline_run,
+                                            monkeypatch, capsys):
+        """A contract section that fell out of the comparison (renamed or
+        dropped entry) must fail the gate, not pass vacuously."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        self.write(baseline_path, [baseline_run])
+        renamed = make_run([
+            (name.replace("build_workloads", "workload_build"), value, unit)
+            for name, value, unit in BASELINE_ENTRIES])
+        self.write(current_path, [renamed])
+        assert check_regression.main([
+            "--baseline", str(baseline_path),
+            "--current", str(current_path),
+            "--require", "build_workloads"]) == 1
+        assert "build_workloads" in capsys.readouterr().err
+
+    def test_required_full_entry_name_catches_section_survivors(
+            self, tmp_path, baseline_run, monkeypatch, capsys):
+        """Renaming one entry of a multi-entry section keeps the section
+        in the comparison, so only a full-entry-name pin catches it."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        self.write(baseline_path, [baseline_run])
+        renamed = make_run([
+            (name.replace("entropy_encode.speedup",
+                          "entropy_encode.speed_up"), value, unit)
+            for name, value, unit in BASELINE_ENTRIES])
+        self.write(current_path, [renamed])
+        # Section-level require stays green: .optimised still gates under
+        # the entropy_encode section even though the ratio contract fell
+        # out of the comparison...
+        assert check_regression.main([
+            "--baseline", str(baseline_path),
+            "--current", str(current_path),
+            "--min-seconds", "1e-6",
+            "--require", "entropy_encode"]) == 0
+        # ...the full entry name catches exactly that.
+        assert check_regression.main([
+            "--baseline", str(baseline_path),
+            "--current", str(current_path),
+            "--min-seconds", "1e-6",
+            "--require", "entropy_encode.speedup"]) == 1
+        assert "entropy_encode.speedup" in capsys.readouterr().err
+
+    def test_required_section_must_be_gated_not_just_present(
+            self, tmp_path, baseline_run, monkeypatch, capsys):
+        """An entry that exists but is skipped (below the noise floor,
+        reference probe) does not satisfy ``--require``."""
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline_path = tmp_path / "baseline.json"
+        self.write(baseline_path, [baseline_run])
+        # prepare_dataset.warm_cached sits below the 0.005s noise floor.
+        assert check_regression.main([
+            "--baseline", str(baseline_path),
+            "--current", str(baseline_path),
+            "--require", "prepare_dataset"]) == 1
+        assert "prepare_dataset" in capsys.readouterr().err
+
     def test_gate_fails_when_nothing_is_gated(self, tmp_path, baseline_run,
                                               monkeypatch, capsys):
         """Renamed entries (empty intersection) must fail loudly, not pass
