@@ -11,6 +11,8 @@ byte-identical to the serial artifacts), and the deployment replay itself.
 
 import pytest
 
+from repro.config import SystemConfig
+from repro.contracts import FAST_CONTRACT, selection_agreement
 from repro.core import DeploymentMode
 from repro.datasets.diskcache import cache_dir, temporary_cache_dir, tree_digest
 from repro.experiments import figure4, prepare_dataset
@@ -76,8 +78,30 @@ def workloads(bench_config_small, figure4_report, tmp_path_factory):
                           build_workers=2)
     assert tree_digest(parallel_cache) == tree_digest(serial_cache), (
         "parallel build produced different cache artifacts than serial")
-    # Drop the parallel-built in-process layer so later harnesses resolve
-    # against the session cache directory again.
+    # Cold *fast-precision* build: the same end-to-end build through the
+    # float32 kernels (motion SADs in the analysis pass and both size-only
+    # encodes).  Fast sessions key their own cache artifacts, so this is a
+    # genuinely cold build on the same runner as the serial cold build
+    # above — the gated `precision_fast.build.speedup` ratio is
+    # machine-relative, and the recorded agreement pins the end-to-end
+    # accuracy contract at bench scale.
+    clear_prepared_cache()
+    with Stopwatch() as fast_cold:
+        fast_built = figure4.build_workloads(
+            bench_config_small, system_config=SystemConfig(precision="fast"))
+    figure4_report.record_speedup("precision_fast.build",
+                                  cold.elapsed_seconds,
+                                  fast_cold.elapsed_seconds,
+                                  datasets=len(fast_built))
+    agreement = min(
+        selection_agreement(exact.semantic_samples, fast.semantic_samples)
+        for exact, fast in zip(built, fast_built))
+    figure4_report.record("precision_fast.agreement", agreement, "ratio",
+                          datasets=len(fast_built))
+    assert agreement >= FAST_CONTRACT.detections.min_agreement, (
+        f"fast workload selection agreement {agreement} below contract")
+    # Drop the fast/parallel in-process layers so later harnesses resolve
+    # against the exact session cache artifacts again.
     clear_prepared_cache()
     return built
 

@@ -24,6 +24,7 @@ from repro.codec import entropy
 from repro.codec.blocks import pad_plane, to_blocks
 from repro.codec.motion import candidate_offsets, estimate_motion, shift_plane
 from repro.codec.transform import reconstruct_blocks, transform_and_quantise
+from repro.contracts import FAST_CONTRACT, agreement_fraction
 from repro.dataflow.scheduler import EventScheduler, ServiceStation
 from repro.nn import build_yolo_lite, classify_frame, classify_frames
 from repro.video.scenarios import make_scenario
@@ -204,6 +205,77 @@ class TestInference:
         # Batched labels match the per-frame path exactly.
         labels, _ = classify_frames(model, frames, batch_size=16)
         assert labels == [classify_frame(model, frame)[0] for frame in frames]
+
+
+class TestPrecisionFastPaths:
+    """Tolerance-contracted float32 fast paths vs their exact twins.
+
+    Both the machine-relative speedup *and* the measured fast/exact
+    agreement are recorded as gated ``precision_fast.*`` entries, so the CI
+    perf gate fails if either the speedup or the contract collapses — and
+    ``check_regression.py --require precision_fast`` keeps the section from
+    silently dropping out of the comparison.
+    """
+
+    def test_nn_fast_speedup(self, benchmark, hotpaths_report):
+        model = build_yolo_lite()
+        rng = np.random.default_rng(23)
+        frames = [rng.integers(0, 255, size=(64, 64), dtype=np.uint8)
+                  for _ in range(32)]
+        # Warm both paths (weight casts, buffers) before timing.
+        classify_frames(model, frames[:2], batch_size=2)
+        classify_frames(model, frames[:2], batch_size=2, precision="fast")
+        exact_seconds = min_time(
+            lambda: classify_frames(model, frames, batch_size=16), repeats=3)
+        fast_seconds = min_time(
+            lambda: classify_frames(model, frames, batch_size=16,
+                                    precision="fast"), repeats=3)
+        entry = hotpaths_report.record_speedup(
+            "precision_fast.nn", exact_seconds, fast_seconds,
+            frames=len(frames), batch_size=16)
+        exact_labels, exact_probs = classify_frames(model, frames,
+                                                    batch_size=16)
+        fast_labels, fast_probs = classify_frames(model, frames,
+                                                  batch_size=16,
+                                                  precision="fast")
+        agreement = agreement_fraction(exact_labels, fast_labels)
+        hotpaths_report.record("precision_fast.nn_agreement", agreement,
+                               "ratio", frames=len(frames))
+        benchmark(classify_frames, model, frames, 16, "fast")
+        assert entry.value > 0
+        # The recorded numbers are the result; the contract itself is a
+        # hard assertion — a fast path that breaks its budget must fail
+        # even before the CI gate compares runs.
+        assert agreement >= FAST_CONTRACT.nn_classes.min_agreement
+        assert FAST_CONTRACT.nn_logits.values_within(exact_probs, fast_probs)
+
+    def test_motion_fast_speedup(self, benchmark, frame_pair,
+                                 hotpaths_report):
+        reference, current = frame_pair
+        radius = 3
+        exact_field = estimate_motion(reference, current, BLOCK_SIZE, radius)
+        fast_field = estimate_motion(reference, current, BLOCK_SIZE, radius,
+                                     precision="fast")
+        exact_seconds = min_time(
+            lambda: estimate_motion(reference, current, BLOCK_SIZE, radius))
+        fast_seconds = min_time(
+            lambda: estimate_motion(reference, current, BLOCK_SIZE, radius,
+                                    precision="fast"))
+        entry = hotpaths_report.record_speedup(
+            "precision_fast.motion", exact_seconds, fast_seconds,
+            frame_shape=list(reference.shape),
+            candidates=len(candidate_offsets(radius, 1)))
+        agreement = agreement_fraction(exact_field.vectors,
+                                       fast_field.vectors)
+        hotpaths_report.record("precision_fast.motion_agreement", agreement,
+                               "ratio",
+                               blocks=int(exact_field.block_sad.size))
+        benchmark(estimate_motion, reference, current, BLOCK_SIZE, radius,
+                  1, "fast")
+        assert entry.value > 0
+        assert agreement >= FAST_CONTRACT.sad_argmin.min_agreement
+        assert FAST_CONTRACT.sad_values.values_within(exact_field.block_sad,
+                                                      fast_field.block_sad)
 
 
 class TestSchedulerEventLoop:

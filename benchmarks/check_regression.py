@@ -31,7 +31,11 @@ Usage::
         --tolerance nn_inference=0.60 --tolerance scheduler_event_loop=0.50
 
 The *section* of an entry is its name up to the first dot
-(``entropy_encode.optimised`` -> ``entropy_encode``).
+(``entropy_encode.optimised`` -> ``entropy_encode``).  ``--tolerance``
+also accepts a *full entry name*, which takes precedence over its
+section's tolerance — used when one entry of a section needs a different
+allowance (e.g. a machine-relative ratio gated tightly next to an
+absolute wall-clock that must only gate catastrophic blowups).
 
 ``--require NAME`` (repeatable; a section or a full entry name) fails the
 gate when no gated measurement matching it was compared — protecting
@@ -133,7 +137,9 @@ def compare_runs(baseline_run: Dict[str, object],
         base = float(base_entry["value"])
         current = float(current_entries[name]["value"])
         section = section_of(name)
-        tolerance = float(tolerances.get(section, default_tolerance))
+        # Exact-name overrides beat section overrides beat the default.
+        tolerance = float(tolerances.get(
+            name, tolerances.get(section, default_tolerance)))
         if unit == "seconds":
             regression = (current - base) / base if base > 0 else 0.0
         elif unit in ("items_per_second", "ratio"):
@@ -205,8 +211,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=DEFAULT_TOLERANCE,
                         help="allowed regression fraction (default 0.30)")
     parser.add_argument("--tolerance", action="append", default=[],
-                        metavar="SECTION=FRACTION",
-                        help="per-section tolerance override (repeatable)")
+                        metavar="NAME=FRACTION",
+                        help="tolerance override for a section or a full "
+                             "entry name; exact names win (repeatable)")
     parser.add_argument("--min-seconds", type=float,
                         default=DEFAULT_MIN_SECONDS,
                         help="noise floor below which seconds entries are "

@@ -20,8 +20,14 @@ so a second run skips rendering and tuning entirely; ``--build-workers N``
 builds a cold cache in parallel through
 :class:`repro.parallel.WorkloadBuilder` (byte-identical artifacts).
 
+``--precision fast`` builds the workloads through the float32 fast paths
+(merged NN GEMMs, dot-product SADs with the exact-argmin tie fallback)
+under the :data:`repro.contracts.FAST_CONTRACT` accuracy budget; the
+default ``exact`` keeps every kernel bit-identical to the seed.
+
 Run with:  python examples/fleet_scaling.py [--workers 1,2,4]
                                             [--build-workers 2]
+                                            [--precision exact|fast]
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from __future__ import annotations
 import argparse
 
 from repro import SystemConfig
+from repro.contracts import PRECISION_MODES
 from repro.cluster import FleetOrchestrator, PlacementPolicy
 from repro.core import DeploymentMode, build_workload, plan_camera_job
 from repro.datasets import ALL_DATASETS, DatasetSpec
@@ -148,13 +155,20 @@ def main() -> None:
              "multi-process runs are asserted equal to the serial run")
     parser.add_argument(
         "--build-workers", type=int, default=1,
-        help="worker processes for the cold workload build (default: 1); "
-             "parallel builds write byte-identical cache artifacts")
+        help="worker processes for the cold workload build (default: 1, "
+             "0 = auto-size from os.cpu_count()); parallel builds write "
+             "byte-identical cache artifacts")
+    parser.add_argument(
+        "--precision", choices=sorted(PRECISION_MODES), default="exact",
+        help="numeric mode of the workload build: 'exact' (default, "
+             "bit-identical hot paths) or 'fast' (float32 kernels under "
+             "the FAST_CONTRACT accuracy budget)")
     arguments = parser.parse_args()
-    if arguments.build_workers < 1:
-        parser.error("--build-workers must be >= 1")
+    if arguments.build_workers < 0:
+        parser.error("--build-workers must be >= 0 (0 = auto)")
     configure_logging()
-    config = SystemConfig()
+    config = SystemConfig(precision=arguments.precision)
+    print(f"Numeric contract: {config.contract.describe()}")
     mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
 
     print(f"Preparing {NUM_CAMERAS}-camera fleet "

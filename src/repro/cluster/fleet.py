@@ -32,9 +32,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..config import SystemConfig
+from ..config import SystemConfig, resolve_worker_count
 from ..dataflow.scheduler import EventScheduler, ServiceStation
-from ..errors import ClusterError
+from ..errors import ClusterError, ConfigurationError
 from ..net.contention import ContendedLink
 from ..net.link import NetworkLink
 from ..perf import Stopwatch
@@ -356,10 +356,12 @@ class FleetOrchestrator:
             raise ClusterError("cloud_workers must be >= 1")
         self.arrival_jitter_seconds = float(arrival_jitter_seconds)
         self.seed = seed
-        self.fleet_workers = int(fleet_workers if fleet_workers is not None
-                                 else self.config.fleet_workers)
-        if self.fleet_workers < 1:
-            raise ClusterError("fleet_workers must be >= 1")
+        try:
+            self.fleet_workers = resolve_worker_count(
+                int(fleet_workers if fleet_workers is not None
+                    else self.config.fleet_workers), "fleet_workers")
+        except ConfigurationError as error:
+            raise ClusterError(str(error)) from error
 
     # ------------------------------------------------------------------ #
     # Placement

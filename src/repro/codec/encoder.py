@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..contracts import validate_precision
 from ..errors import EncodeError
 from ..logging_utils import get_logger
 from ..video.frame import FrameType
@@ -74,10 +75,15 @@ class VideoEncoder:
     Args:
         parameters: Encoder configuration (GOP size, scenecut threshold,
             quality, macroblock size, motion-search radius).
+        precision: Numeric mode of the motion search — ``"exact"`` (the
+            default, bit-identical to the seed) or ``"fast"`` (float32
+            SADs under :data:`repro.contracts.FAST_CONTRACT`).
     """
 
-    def __init__(self, parameters: Optional[EncoderParameters] = None) -> None:
+    def __init__(self, parameters: Optional[EncoderParameters] = None,
+                 precision: str = "exact") -> None:
         self.parameters = parameters or EncoderParameters()
+        self.precision = validate_precision(precision)
 
     # ------------------------------------------------------------------ #
     # Lookahead analysis
@@ -85,7 +91,8 @@ class VideoEncoder:
     def make_analyzer(self) -> SceneCutAnalyzer:
         """Build a scene-cut analyser matching the encoder's block settings."""
         return SceneCutAnalyzer(block_size=self.parameters.block_size,
-                                search_radius=self.parameters.search_radius)
+                                search_radius=self.parameters.search_radius,
+                                precision=self.precision)
 
     def analyze(self, video: VideoSource) -> List[FrameActivity]:
         """Run the parameter-independent lookahead pass over ``video``."""
@@ -138,7 +145,8 @@ class VideoEncoder:
         """
         block_size = self.parameters.block_size
         field = estimate_motion(reference, luma, block_size,
-                                self.parameters.search_radius)
+                                self.parameters.search_radius,
+                                precision=self.precision)
         prediction = motion_compensate(reference, field, luma.shape)
         residual = luma - prediction
         residual_blocks = to_blocks(pad_plane(residual, block_size), block_size)
@@ -235,12 +243,15 @@ class VideoEncoder:
 
 def encode_video(video: VideoSource, parameters: Optional[EncoderParameters] = None,
                  materialise_payload: bool = False,
-                 activities: Optional[Sequence[FrameActivity]] = None) -> EncodedVideo:
+                 activities: Optional[Sequence[FrameActivity]] = None,
+                 precision: str = "exact") -> EncodedVideo:
     """Module-level convenience wrapper around :class:`VideoEncoder`."""
-    return VideoEncoder(parameters).encode(video, materialise_payload, activities)
+    return VideoEncoder(parameters, precision).encode(video, materialise_payload,
+                                                      activities)
 
 
 def analyze_video(video: VideoSource,
-                  parameters: Optional[EncoderParameters] = None) -> List[FrameActivity]:
+                  parameters: Optional[EncoderParameters] = None,
+                  precision: str = "exact") -> List[FrameActivity]:
     """Run the lookahead analysis pass for ``video``."""
-    return VideoEncoder(parameters).analyze(video)
+    return VideoEncoder(parameters, precision).analyze(video)

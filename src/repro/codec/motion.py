@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..contracts import (NumericContract, PRECISION_EXACT, resolve_contract,
+                         validate_precision)
 from ..errors import CodecError
 from .blocks import DEFAULT_BLOCK_SIZE, from_blocks, pad_plane, to_blocks
 
@@ -108,7 +110,9 @@ class MotionField:
 
 def estimate_motion(reference: np.ndarray, current: np.ndarray,
                     block_size: int = DEFAULT_BLOCK_SIZE,
-                    search_radius: int = 3, search_step: int = 1) -> MotionField:
+                    search_radius: int = 3, search_step: int = 1,
+                    precision: str = PRECISION_EXACT,
+                    contract: Optional[NumericContract] = None) -> MotionField:
     """Estimate per-block motion of ``current`` with respect to ``reference``.
 
     Args:
@@ -117,10 +121,21 @@ def estimate_motion(reference: np.ndarray, current: np.ndarray,
         block_size: Macroblock size.
         search_radius: Maximum displacement searched per axis.
         search_step: Candidate grid step (``2`` halves the search cost).
+        precision: ``"exact"`` (default) runs the float64 search that is
+            bit-identical to the seed implementation; ``"fast"`` runs the
+            float32 dot-product SAD reduction with an exact-argmin fallback
+            on near-ties (see :func:`_estimate_motion_fast`).
+        contract: Numeric contract supplying the near-tie margin of the
+            fast path (defaults to the contract of ``precision``).
 
     Returns:
         The :class:`MotionField` with the best candidate per block.
     """
+    validate_precision(precision)
+    if precision != PRECISION_EXACT:
+        return _estimate_motion_fast(reference, current, block_size,
+                                     search_radius, search_step,
+                                     contract or resolve_contract(precision))
     reference = np.asarray(reference, dtype=np.float64)
     current = np.asarray(current, dtype=np.float64)
     if reference.shape != current.shape:
@@ -162,6 +177,102 @@ def estimate_motion(reference: np.ndarray, current: np.ndarray,
     best_vector = offset_table[best_index]
     return MotionField(vectors=best_vector, block_sad=best_sad,
                        zero_sad=sads[0], block_size=block_size)
+
+
+def _estimate_motion_fast(reference: np.ndarray, current: np.ndarray,
+                          block_size: int, search_radius: int,
+                          search_step: int,
+                          contract: NumericContract) -> MotionField:
+    """float32 motion search with an exact-argmin fallback on near-ties.
+
+    The per-candidate SAD surface is computed in float32 (halving the
+    memory traffic that dominates this path) and reduced per block with two
+    dot products against a ones vector instead of numpy's generic
+    two-small-axis reduction.  Both changes reassociate the summation, so
+    the SAD values live under ``contract.sad_values`` rather than the
+    bit-identity contract.
+
+    Argmin stability is restored where it matters: every block whose
+    float32 gap between best and second-best candidate falls inside the
+    ``contract.sad_tie`` margin has its full candidate row recomputed in
+    float64 and its winner (and SAD) replaced by the exact result — so
+    genuine ties resolve by the exact path's first-candidate-wins rule, and
+    a fast/exact vector disagreement can only happen when two candidates
+    are *nearly* tied beyond float32 resolution but outside the margin,
+    which ``contract.sad_argmin`` budgets for.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    current = np.asarray(current, dtype=np.float64)
+    if reference.shape != current.shape:
+        raise CodecError(
+            f"reference {reference.shape} and current {current.shape} differ in shape")
+    reference = pad_plane(reference, block_size)
+    current = pad_plane(current, block_size)
+    blocks_y = current.shape[0] // block_size
+    blocks_x = current.shape[1] // block_size
+    height, width = current.shape
+
+    offsets = candidate_offsets(search_radius, search_step)
+    padded = pad_edge(reference, search_radius)
+    padded32 = padded.astype(np.float32)
+    current32 = current.astype(np.float32)
+    diff = np.empty((height, width), dtype=np.float32)
+    blocked = diff.reshape(blocks_y, block_size, blocks_x, block_size)
+    ones = np.ones(block_size, dtype=np.float32)
+    sads = np.empty((len(offsets), blocks_y, blocks_x), dtype=np.float32)
+    for index, (dy, dx) in enumerate(offsets):
+        shifted = padded32[search_radius - dy:search_radius - dy + height,
+                           search_radius - dx:search_radius - dx + width]
+        np.subtract(shifted, current32, out=diff)
+        np.abs(diff, out=diff)
+        # Dot-product reduction: matmul over the inner block axis, then
+        # over the block-row axis.
+        sads[index] = (blocked @ ones).transpose(0, 2, 1) @ ones
+
+    best_index = sads.argmin(axis=0)
+    block_sad = sads.min(axis=0).astype(np.float64)
+    zero_sad = sads[0].astype(np.float64)
+
+    if len(offsets) > 1:
+        runner_up = np.partition(sads, 1, axis=0)[1].astype(np.float64)
+        near_tie = (runner_up - block_sad) <= contract.sad_tie.margin(block_sad)
+        if np.any(near_tie):
+            tied_y, tied_x = np.nonzero(near_tie)
+            exact_sads = _exact_block_sads(padded, current, block_size,
+                                           search_radius, offsets,
+                                           tied_y, tied_x)
+            best_index[near_tie] = exact_sads.argmin(axis=0)
+            block_sad[near_tie] = exact_sads.min(axis=0)
+            zero_sad[near_tie] = exact_sads[0]
+
+    offset_table = np.asarray(offsets, dtype=np.int16)
+    best_vector = offset_table[best_index]
+    return MotionField(vectors=best_vector, block_sad=block_sad,
+                       zero_sad=zero_sad, block_size=block_size)
+
+
+def _exact_block_sads(padded: np.ndarray, current: np.ndarray,
+                      block_size: int, search_radius: int,
+                      offsets: Tuple[Tuple[int, int], ...],
+                      tied_y: np.ndarray, tied_x: np.ndarray) -> np.ndarray:
+    """float64 SADs of every candidate for the selected blocks.
+
+    ``padded`` is the reference plane pre-padded by ``search_radius``.
+    Returns an array of shape ``(num_candidates, num_blocks)`` in candidate
+    order (origin first), computed entirely in float64 so its argmin
+    resolves ties like the exact search does.
+    """
+    current_blocks = to_blocks(current, block_size)
+    tied_blocks = current_blocks[tied_y, tied_x]
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (block_size, block_size))
+    rows = tied_y * block_size
+    cols = tied_x * block_size
+    sads = np.empty((len(offsets), len(tied_y)))
+    for index, (dy, dx) in enumerate(offsets):
+        shifted = windows[search_radius - dy + rows, search_radius - dx + cols]
+        sads[index] = np.abs(shifted - tied_blocks).sum(axis=(1, 2))
+    return sads
 
 
 def motion_compensate(reference: np.ndarray, field: MotionField,

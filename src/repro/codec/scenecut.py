@@ -34,6 +34,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..contracts import validate_precision
 from ..errors import CodecError
 from .blocks import DEFAULT_BLOCK_SIZE, pad_plane, to_blocks
 from .motion import estimate_motion, motion_compensate
@@ -134,12 +135,16 @@ class SceneCutAnalyzer:
         search_step: Motion search grid step.
         novel_pixel_threshold: Override of :data:`NOVEL_PIXEL_THRESHOLD`.
         novel_pixel_count: Override of :data:`NOVEL_PIXEL_COUNT`.
+        precision: Numeric mode of the motion search (``"exact"`` default;
+            ``"fast"`` selects the float32 SAD path under the tolerance
+            contract).
     """
 
     def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE, search_radius: int = 2,
                  search_step: int = 1,
                  novel_pixel_threshold: float = NOVEL_PIXEL_THRESHOLD,
-                 novel_pixel_count: int = NOVEL_PIXEL_COUNT) -> None:
+                 novel_pixel_count: int = NOVEL_PIXEL_COUNT,
+                 precision: str = "exact") -> None:
         if block_size <= 0:
             raise CodecError("block_size must be positive")
         if novel_pixel_threshold <= 0:
@@ -151,6 +156,7 @@ class SceneCutAnalyzer:
         self.search_step = search_step
         self.novel_pixel_threshold = float(novel_pixel_threshold)
         self.novel_pixel_count = int(novel_pixel_count)
+        self.precision = validate_precision(precision)
         self._previous: Optional[np.ndarray] = None
         self._frame_index = 0
 
@@ -174,7 +180,8 @@ class SceneCutAnalyzer:
         previous = np.asarray(previous, dtype=np.float64)
         current = np.asarray(current, dtype=np.float64)
         field = estimate_motion(previous, current, self.block_size,
-                                self.search_radius, self.search_step)
+                                self.search_radius, self.search_step,
+                                precision=self.precision)
         prediction = motion_compensate(previous, field, current.shape)
         residual = np.abs(current - prediction)
         residual_blocks = to_blocks(pad_plane(residual, self.block_size),

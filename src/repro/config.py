@@ -9,9 +9,12 @@ paper's physical edge/cloud testbed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, asdict
 from typing import Dict
 
+from .contracts import (PRECISION_ENV, PRECISION_EXACT, NumericContract,
+                        resolve_contract, validate_precision)
 from .errors import ConfigurationError
 
 #: Default wide-area bandwidth between edge and cloud, from Section V of the
@@ -26,6 +29,30 @@ DEFAULT_CAMERA_EDGE_BANDWIDTH_MBPS = 100.0
 #: cloud-side YOLO model ("resizing them to the resolution of the YOLO model
 #: (i.e., 300x300)").
 NN_INPUT_RESOLUTION = (300, 300)
+
+
+def default_precision() -> str:
+    """The default numeric precision mode.
+
+    ``"exact"`` unless the ``REPRO_PRECISION`` environment variable selects
+    another mode — which is how the CI matrix leg runs the whole tier-1
+    suite under the float32 fast paths without code changes.
+    """
+    return validate_precision(
+        os.environ.get(PRECISION_ENV, PRECISION_EXACT).strip() or PRECISION_EXACT)
+
+
+def resolve_worker_count(workers: int, name: str) -> int:
+    """Resolve a worker-count setting, treating ``0`` as "auto".
+
+    ``0`` sizes the pool from :func:`os.cpu_count` (falling back to ``1``
+    when the count is unknown); positive values pass through unchanged.
+    """
+    if workers < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {workers}")
+    if workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    return workers
 
 
 @dataclass(frozen=True)
@@ -101,6 +128,8 @@ class SystemConfig:
             per-edge pipelines across a ``ProcessPoolExecutor`` and merge
             the results deterministically — the report is equal to the
             serial one regardless of worker count or completion order.
+            ``0`` means "auto": the count resolves to :func:`os.cpu_count`
+            at construction time.
         build_workers: Worker *processes* used to build experiment
             workloads (dataset render -> analysis -> tuning -> size-only
             encodes; see :class:`repro.parallel.WorkloadBuilder`).  ``1``
@@ -109,6 +138,15 @@ class SystemConfig:
             content-keyed disk-cache entries, and the parent assembles
             the results deterministically by dataset — byte-identical
             cache artifacts and equal workload objects either way.
+            ``0`` means "auto" (resolved via :func:`os.cpu_count`).
+        precision: Numeric mode of the hot paths.  ``"exact"`` (the
+            default) keeps every optimised kernel bit-identical to the seed
+            implementation; ``"fast"`` routes NN inference and the motion
+            search through float32 kernels (merged batched GEMMs,
+            dot-product SAD reductions with an exact-argmin fallback on
+            near-ties) whose deviation is bounded by the
+            :data:`repro.contracts.FAST_CONTRACT` accuracy budget.  The
+            default honours the ``REPRO_PRECISION`` environment variable.
         seed: Root seed for all stochastic components.
     """
 
@@ -121,6 +159,7 @@ class SystemConfig:
     nn_batch_size: int = 16
     fleet_workers: int = 1
     build_workers: int = 1
+    precision: str = field(default_factory=default_precision)
     seed: int = 20200601
 
     def __post_init__(self) -> None:
@@ -135,10 +174,18 @@ class SystemConfig:
             raise ConfigurationError("nn_input_resolution must be positive")
         if self.nn_batch_size < 1:
             raise ConfigurationError("nn_batch_size must be >= 1")
-        if self.fleet_workers < 1:
-            raise ConfigurationError("fleet_workers must be >= 1")
-        if self.build_workers < 1:
-            raise ConfigurationError("build_workers must be >= 1")
+        # 0 = "auto" for both worker pools; the dataclass is frozen, so the
+        # resolved counts are written through object.__setattr__ once here.
+        object.__setattr__(self, "fleet_workers", resolve_worker_count(
+            self.fleet_workers, "fleet_workers"))
+        object.__setattr__(self, "build_workers", resolve_worker_count(
+            self.build_workers, "build_workers"))
+        validate_precision(self.precision)
+
+    @property
+    def contract(self) -> NumericContract:
+        """The numeric contract selected by :attr:`precision`."""
+        return resolve_contract(self.precision)
 
     def with_bandwidth(self, edge_cloud_mbps: float) -> "SystemConfig":
         """Return a copy with a different edge->cloud bandwidth."""
@@ -152,6 +199,7 @@ class SystemConfig:
             nn_batch_size=self.nn_batch_size,
             fleet_workers=self.fleet_workers,
             build_workers=self.build_workers,
+            precision=self.precision,
             seed=self.seed,
         )
 

@@ -1,0 +1,243 @@
+"""Numeric contracts: the accuracy budgets of the float32 fast paths.
+
+The reproduction's default numeric mode is **exact**: every hot path is
+pinned bit-identical to the seed implementation (see the bitwise-stability
+contract in ROADMAP.md).  That contract blocked two measured speedups —
+merged batched GEMMs in the NN engine and dot-product SAD reductions in the
+motion search — because both reassociate floating-point reductions and run
+in float32.
+
+This module turns "how wrong is the fast path allowed to be" into a
+first-class, tested object.  A :class:`NumericContract` carries one
+:class:`ToleranceBudget` per numeric stage:
+
+* ``nn_logits`` — elementwise tolerance of the fast NN output vectors
+  (softmax probabilities) against the exact float64 forward pass;
+* ``nn_classes`` — minimum fraction of examples whose fast argmax class
+  equals the exact argmax class;
+* ``detections`` — minimum end-to-end agreement of derived discrete
+  decisions (detector labels, selected key frames) between fast and exact
+  pipelines;
+* ``sad_values`` — elementwise tolerance of the fast motion-search SAD
+  surface against the exact one;
+* ``sad_argmin`` — minimum fraction of blocks whose fast motion vector
+  equals the exact argmin vector;
+* ``sad_tie`` — the near-tie margin of the fast motion search: whenever the
+  float32 gap between a block's best and second-best candidate is inside
+  this budget the fast path recomputes that block's SADs in float64 and
+  takes the *exact* argmin, so ties (and near-ties) resolve exactly like
+  the exact path's first-candidate-wins rule.
+
+The differential harness under ``tests/contracts/`` asserts every budget on
+synthetic scenarios (including adversarial near-tie SAD cases and
+logit-margin edge cases), and the benchmark suite records the measured
+fast/exact agreement next to the speedup so the CI perf gate can fail when
+either collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: The numeric modes a :class:`~repro.config.SystemConfig` can select.
+PRECISION_EXACT = "exact"
+PRECISION_FAST = "fast"
+PRECISION_MODES: Tuple[str, ...] = (PRECISION_EXACT, PRECISION_FAST)
+
+#: Environment variable overriding the default precision mode (used by the
+#: CI matrix leg that runs the whole tier-1 suite under ``fast``).
+PRECISION_ENV = "REPRO_PRECISION"
+
+
+def validate_precision(precision: str) -> str:
+    """Return ``precision`` unchanged, raising on unknown modes."""
+    if precision not in PRECISION_MODES:
+        raise ConfigurationError(
+            f"precision must be one of {PRECISION_MODES}, got {precision!r}")
+    return precision
+
+
+def activation_dtype(precision: str):
+    """The numpy dtype the NN engine computes in under ``precision``."""
+    validate_precision(precision)
+    return np.float32 if precision == PRECISION_FAST else np.float64
+
+
+@dataclass(frozen=True)
+class ToleranceBudget:
+    """Accuracy budget of one numeric stage.
+
+    Attributes:
+        atol: Absolute tolerance on continuous values.
+        rtol: Relative tolerance on continuous values.
+        min_agreement: Minimum fraction of discrete decisions (argmax
+            classes, motion vectors, selected frames) that must equal the
+            exact path's decisions.
+    """
+
+    atol: float = 0.0
+    rtol: float = 0.0
+    min_agreement: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.atol < 0 or self.rtol < 0:
+            raise ConfigurationError(
+                f"tolerances must be non-negative, got atol={self.atol}, "
+                f"rtol={self.rtol}")
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ConfigurationError(
+                f"min_agreement must be in [0, 1], got {self.min_agreement}")
+
+    def margin(self, reference) -> np.ndarray:
+        """The allowed absolute deviation around ``reference`` values."""
+        return self.atol + self.rtol * np.abs(np.asarray(reference, dtype=np.float64))
+
+    def values_within(self, exact, fast) -> bool:
+        """Whether ``fast`` matches ``exact`` within ``atol``/``rtol``."""
+        exact = np.asarray(exact, dtype=np.float64)
+        fast = np.asarray(fast, dtype=np.float64)
+        return bool(np.all(np.abs(fast - exact) <= self.margin(exact)))
+
+    def max_violation(self, exact, fast) -> float:
+        """Largest absolute deviation in excess of the budget (<= 0 is ok)."""
+        exact = np.asarray(exact, dtype=np.float64)
+        fast = np.asarray(fast, dtype=np.float64)
+        if exact.size == 0:
+            return 0.0
+        return float((np.abs(fast - exact) - self.margin(exact)).max())
+
+
+def agreement_fraction(exact, fast) -> float:
+    """Fraction of aligned discrete decisions that are equal.
+
+    Accepts arrays (compared elementwise; multi-dimensional arrays compare
+    whole trailing vectors, e.g. ``(blocks_y, blocks_x, 2)`` motion fields
+    agree per block) or plain sequences of hashable decisions (labels,
+    frame indices).  Empty inputs agree trivially.
+    """
+    if isinstance(exact, np.ndarray) or isinstance(fast, np.ndarray):
+        exact = np.asarray(exact)
+        fast = np.asarray(fast)
+        if exact.shape != fast.shape:
+            raise ConfigurationError(
+                f"agreement_fraction got mismatched shapes {exact.shape} "
+                f"vs {fast.shape}")
+        if exact.size == 0:
+            return 1.0
+        equal = exact == fast
+        if equal.ndim > 2:
+            equal = equal.reshape(equal.shape[0], equal.shape[1], -1).all(axis=-1)
+        return float(np.mean(equal))
+    exact = list(exact)
+    fast = list(fast)
+    if len(exact) != len(fast):
+        raise ConfigurationError(
+            f"agreement_fraction got mismatched lengths {len(exact)} "
+            f"vs {len(fast)}")
+    if not exact:
+        return 1.0
+    return sum(a == b for a, b in zip(exact, fast)) / len(exact)
+
+
+def selection_agreement(exact, fast) -> float:
+    """Jaccard agreement of two selected-index sets (key frames, samples)."""
+    exact_set, fast_set = set(exact), set(fast)
+    union = exact_set | fast_set
+    if not union:
+        return 1.0
+    return len(exact_set & fast_set) / len(union)
+
+
+@dataclass(frozen=True)
+class NumericContract:
+    """The full accuracy budget of one precision mode.
+
+    ``NumericContract.exact()`` is the degenerate contract (zero tolerance,
+    full agreement) describing the default mode; ``NumericContract.fast()``
+    is the budget the float32 fast paths are tested against.
+
+    Attributes:
+        mode: The precision mode this contract describes.
+        nn_logits: Elementwise budget on fast NN output vectors.
+        nn_classes: Agreement budget on fast argmax classifications.
+        detections: Agreement budget on derived discrete pipeline decisions
+            (detector labels, selected key frames).
+        sad_values: Elementwise budget on the fast SAD surface.
+        sad_argmin: Agreement budget on fast motion vectors.
+        sad_tie: Near-tie margin triggering the fast search's exact-argmin
+            fallback.
+    """
+
+    mode: str
+    nn_logits: ToleranceBudget
+    nn_classes: ToleranceBudget
+    detections: ToleranceBudget
+    sad_values: ToleranceBudget
+    sad_argmin: ToleranceBudget
+    sad_tie: ToleranceBudget
+
+    def __post_init__(self) -> None:
+        validate_precision(self.mode)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether this contract demands bit-identical results."""
+        return self.mode == PRECISION_EXACT
+
+    @classmethod
+    def exact(cls) -> "NumericContract":
+        """The zero-tolerance contract of the default mode."""
+        zero = ToleranceBudget()
+        return cls(mode=PRECISION_EXACT, nn_logits=zero, nn_classes=zero,
+                   detections=zero, sad_values=zero, sad_argmin=zero,
+                   sad_tie=zero)
+
+    @classmethod
+    def fast(cls) -> "NumericContract":
+        """The accuracy budget of the float32 fast paths.
+
+        The continuous tolerances are sized from float32 arithmetic: one
+        fused-reduction step loses ~1e-7 relative per term, YoloLite's
+        deepest accumulation chains are a few hundred terms, and SAD
+        reductions sum ``block_size**2`` absolute differences — so 1e-4
+        relative headroom is two orders of magnitude above the observed
+        error while still catching any real numerical defect.  The
+        agreement floors leave room only for genuine near-ties, which the
+        harness shows are rare on every tested scenario.
+        """
+        return cls(
+            mode=PRECISION_FAST,
+            nn_logits=ToleranceBudget(atol=1e-5, rtol=1e-4),
+            nn_classes=ToleranceBudget(min_agreement=0.98),
+            detections=ToleranceBudget(min_agreement=0.95),
+            sad_values=ToleranceBudget(atol=0.25, rtol=1e-4),
+            sad_argmin=ToleranceBudget(min_agreement=0.995),
+            sad_tie=ToleranceBudget(atol=0.5, rtol=2e-4),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (logging, examples)."""
+        if self.is_exact:
+            return "exact (bit-identical to the seed implementations)"
+        return (f"fast (float32: nn logits atol={self.nn_logits.atol:g}/"
+                f"rtol={self.nn_logits.rtol:g}, class agreement >= "
+                f"{self.nn_classes.min_agreement:g}, detection agreement >= "
+                f"{self.detections.min_agreement:g}, SAD atol="
+                f"{self.sad_values.atol:g}/rtol={self.sad_values.rtol:g}, "
+                f"vector agreement >= {self.sad_argmin.min_agreement:g})")
+
+
+#: Shared contract instances (the contracts are frozen, so sharing is safe).
+EXACT_CONTRACT = NumericContract.exact()
+FAST_CONTRACT = NumericContract.fast()
+
+
+def resolve_contract(precision: str) -> NumericContract:
+    """The :class:`NumericContract` selected by a precision mode."""
+    validate_precision(precision)
+    return FAST_CONTRACT if precision == PRECISION_FAST else EXACT_CONTRACT

@@ -200,7 +200,9 @@ def build_workload(instance: DatasetInstance,
         semantic_parameters: Tuned encoder parameters; when ``None`` and the
             dataset is labelled they are obtained by running the offline
             tuner on the clip itself.
-        config: System configuration (NN input resolution, seed).
+        config: System configuration (NN input resolution, seed, and the
+            numeric ``precision`` the analysis/tuning/encode stages run
+            under).
         default_parameters: The non-semantic encoder configuration.
         target_f1: F1 target used to select the MSE threshold.
         unlabelled_sample_period_seconds: Sampling period used when no ground
@@ -213,6 +215,7 @@ def build_workload(instance: DatasetInstance,
         The condensed :class:`VideoWorkload`.
     """
     config = config or SystemConfig()
+    precision = config.precision
     video = instance.video
     timeline = instance.timeline
     spec = instance.spec
@@ -224,11 +227,13 @@ def build_workload(instance: DatasetInstance,
     # --- analysis pass + semantic parameters ------------------------------
     with perf_section("pipeline.analyze"):
         if activities is None:
-            activities = VideoEncoder(default_parameters).analyze(video)
+            activities = VideoEncoder(default_parameters,
+                                      precision).analyze(video)
     if semantic_parameters is None:
         if timeline is not None:
             with perf_section("pipeline.tune"):
-                tuner = SemanticEncoderTuner(TuningGrid(), default_parameters)
+                tuner = SemanticEncoderTuner(TuningGrid(), default_parameters,
+                                             precision)
                 semantic_parameters = tuner.tune_from_activities(
                     activities, timeline, spec.name).best_parameters
         else:
@@ -239,9 +244,9 @@ def build_workload(instance: DatasetInstance,
 
     # --- encode under both configurations (size-only) ---------------------
     with perf_section("pipeline.encode"):
-        semantic_encoded = VideoEncoder(semantic_parameters).encode(
+        semantic_encoded = VideoEncoder(semantic_parameters, precision).encode(
             video, activities=activities)
-        default_encoded = VideoEncoder(default_parameters).encode(
+        default_encoded = VideoEncoder(default_parameters, precision).encode(
             video, activities=activities)
     semantic_samples = semantic_encoded.keyframe_indices
 

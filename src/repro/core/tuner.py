@@ -126,19 +126,24 @@ class SemanticEncoderTuner:
         grid: The (GOP, scenecut) grid to explore.
         base_parameters: Template providing the non-tuned parameters
             (quality, block size, motion-search radius).
+        precision: Numeric mode of the analysis pass (``"exact"`` default;
+            ``"fast"`` selects the float32 motion search).
     """
 
     def __init__(self, grid: Optional[TuningGrid] = None,
-                 base_parameters: Optional[EncoderParameters] = None) -> None:
+                 base_parameters: Optional[EncoderParameters] = None,
+                 precision: str = "exact") -> None:
         self.grid = grid or TuningGrid()
         self.base_parameters = base_parameters or EncoderParameters()
+        from ..contracts import validate_precision
+        self.precision = validate_precision(precision)
 
     # ------------------------------------------------------------------ #
     # Grid search
     # ------------------------------------------------------------------ #
     def analyze(self, video: VideoSource) -> List[FrameActivity]:
         """Run the parameter-independent analysis pass over the footage."""
-        return VideoEncoder(self.base_parameters).analyze(video)
+        return VideoEncoder(self.base_parameters, self.precision).analyze(video)
 
     def tune_from_activities(self, activities: Sequence[FrameActivity],
                              timeline: EventTimeline,

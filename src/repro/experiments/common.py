@@ -44,6 +44,7 @@ from ..codec.encoder import VideoEncoder
 from ..codec.gop import DEFAULT_PARAMETERS, EncoderParameters
 from ..codec.scenecut import FrameActivity
 from ..config import SystemConfig
+from ..contracts import PRECISION_EXACT, validate_precision
 from ..datasets import diskcache
 from ..datasets.generator import DatasetInstance, build_dataset
 from ..datasets.registry import LABELLED_DATASETS, get_dataset
@@ -155,19 +156,21 @@ def clear_prepared_cache() -> int:
 
 
 def _cache_key(name: str, config: ExperimentConfig, split: str,
-               base_parameters: EncoderParameters) -> tuple:
+               base_parameters: EncoderParameters, precision: str) -> tuple:
     """Content key of one prepared dataset.
 
     Covers the rendered footage (dataset, split, duration, render scale) and
-    the analysis pass configuration (the encoder parameters), i.e. every
-    input :func:`prepare_dataset` derives its output from.
+    the analysis pass configuration (the encoder parameters and the numeric
+    precision of the motion search), i.e. every input
+    :func:`prepare_dataset` derives its output from.
     """
     return (name, split, float(config.duration_seconds),
-            float(config.render_scale), base_parameters)
+            float(config.render_scale), base_parameters, precision)
 
 
 def dataset_disk_key(name: str, config: ExperimentConfig, split: str,
-                     base_parameters: EncoderParameters) -> str:
+                     base_parameters: EncoderParameters,
+                     precision: str = PRECISION_EXACT) -> str:
     """Disk-cache key of one prepared dataset (same inputs as L1).
 
     Public so the parallel :class:`~repro.parallel.WorkloadBuilder` can pin
@@ -175,33 +178,38 @@ def dataset_disk_key(name: str, config: ExperimentConfig, split: str,
     """
     return diskcache.content_key(
         DATASET_CACHE_KIND, name, split, float(config.duration_seconds),
-        float(config.render_scale), base_parameters)
+        float(config.render_scale), base_parameters, precision)
 
 
 def prepare_dataset(name: str, config: ExperimentConfig, split: str = "test",
-                    base_parameters: EncoderParameters = EncoderParameters()
-                    ) -> PreparedDataset:
+                    base_parameters: EncoderParameters = EncoderParameters(),
+                    precision: str = PRECISION_EXACT) -> PreparedDataset:
     """Render one dataset clip and run the codec analysis pass over it.
 
     Results are cached in-process under a content key (dataset name, split,
-    duration, render scale, encoder parameters), persisted to the on-disk
-    cache under ``REPRO_CACHE_DIR``, and shared across every harness; set
-    ``REPRO_DATASET_CACHE=0`` to opt out of all caching.  Callers receive
-    the shared instance and must not mutate it.
+    duration, render scale, encoder parameters, precision), persisted to the
+    on-disk cache under ``REPRO_CACHE_DIR``, and shared across every
+    harness; set ``REPRO_DATASET_CACHE=0`` to opt out of all caching.
+    Callers receive the shared instance and must not mutate it.  Fast and
+    exact sessions never share an artifact: the analysis pass depends on the
+    numeric mode, so ``precision`` is part of both cache keys.
     """
+    validate_precision(precision)
     if not dataset_cache_enabled():
-        return _prepare_dataset_uncached(name, config, split, base_parameters)
-    key = _cache_key(name, config, split, base_parameters)
+        return _prepare_dataset_uncached(name, config, split, base_parameters,
+                                         precision)
+    key = _cache_key(name, config, split, base_parameters, precision)
     prepared = _PREPARED_CACHE.get(key)
     if prepared is None:
-        disk_key = dataset_disk_key(name, config, split, base_parameters)
+        disk_key = dataset_disk_key(name, config, split, base_parameters,
+                                    precision)
         # Pinned while in flight so a concurrent budget sweep (triggered by
         # another store in this process) cannot evict the entry mid-build.
         with diskcache.pinned([(DATASET_CACHE_KIND, disk_key)]):
             prepared = _load_prepared_from_disk(name, config, split, disk_key)
             if prepared is None:
                 prepared = _prepare_dataset_uncached(name, config, split,
-                                                     base_parameters)
+                                                     base_parameters, precision)
                 _store_prepared_to_disk(disk_key, name, config, split, prepared)
         _PREPARED_CACHE[key] = prepared
     return prepared
@@ -215,7 +223,8 @@ MATERIALISE_LIMIT_BYTES = 256 * 1024 * 1024
 
 
 def _prepare_dataset_uncached(name: str, config: ExperimentConfig, split: str,
-                              base_parameters: EncoderParameters
+                              base_parameters: EncoderParameters,
+                              precision: str = PRECISION_EXACT
                               ) -> PreparedDataset:
     with perf_section("dataset.render"):
         instance = build_dataset(name, duration_seconds=config.duration_seconds,
@@ -230,14 +239,17 @@ def _prepare_dataset_uncached(name: str, config: ExperimentConfig, split: str,
             if frame_bytes * video.metadata.num_frames <= MATERIALISE_LIMIT_BYTES:
                 instance.video = video.materialise()
     with perf_section("dataset.analyze"):
-        activities = VideoEncoder(base_parameters).analyze(instance.video)
+        activities = VideoEncoder(base_parameters,
+                                  precision).analyze(instance.video)
     return PreparedDataset(instance=instance, activities=activities)
 
 
-def prepare_datasets(config: ExperimentConfig, split: str = "test"
+def prepare_datasets(config: ExperimentConfig, split: str = "test",
+                     precision: str = PRECISION_EXACT
                      ) -> Dict[str, PreparedDataset]:
     """Prepare every dataset named in ``config`` (through the cache)."""
-    return {name: prepare_dataset(name, config, split) for name in config.datasets}
+    return {name: prepare_dataset(name, config, split, precision=precision)
+            for name in config.datasets}
 
 
 # --------------------------------------------------------------------------- #
@@ -385,7 +397,7 @@ def _workload_key_parts(name: str, config: ExperimentConfig, split: str,
             float(config.render_scale), base_parameters,
             tuple(system_config.nn_input_resolution), float(target_f1),
             float(unlabelled_sample_period_seconds),
-            float(H264_EFFICIENCY_FACTOR))
+            float(H264_EFFICIENCY_FACTOR), system_config.precision)
 
 
 def workload_disk_key(name: str, config: ExperimentConfig, split: str,
@@ -419,8 +431,10 @@ def prepare_workload(name: str, config: ExperimentConfig, split: str = "full",
     """
     from ..core.pipeline import build_workload
     system_config = system_config or SystemConfig()
+    precision = system_config.precision
     if not dataset_cache_enabled():
-        prepared = prepare_dataset(name, config, split, base_parameters)
+        prepared = prepare_dataset(name, config, split, base_parameters,
+                                   precision)
         with perf_section("workload.build"):
             return build_workload(prepared.instance, config=system_config,
                                   default_parameters=base_parameters,
@@ -440,11 +454,12 @@ def prepare_workload(name: str, config: ExperimentConfig, split: str = "full",
     # on another store cannot evict either from underneath the build.
     pins = [(WORKLOAD_CACHE_KIND, disk_key),
             (DATASET_CACHE_KIND, dataset_disk_key(name, config, split,
-                                                  base_parameters))]
+                                                  base_parameters, precision))]
     with diskcache.pinned(pins):
         workload = _load_workload_from_disk(name, disk_key)
         if workload is None:
-            prepared = prepare_dataset(name, config, split, base_parameters)
+            prepared = prepare_dataset(name, config, split, base_parameters,
+                                       precision)
             with perf_section("workload.build"):
                 workload = build_workload(prepared.instance,
                                           config=system_config,

@@ -15,6 +15,17 @@ dimension — ``(batch, channels, height, width)`` feature maps and
 vectorised pass; a single example always goes through the same batched code
 path (as a batch of one), so batched and per-example inference are exactly
 equal.
+
+Precision dispatch: every layer computes in the dtype of its input.  The
+default engine runs in float64 through the exact kernels that are pinned
+bit-identical to the seed implementation.  Feeding float32 activations
+(what :meth:`SequentialModel.forward_range` does under
+``precision="fast"``) routes Conv2D and Dense through *merged* float32
+GEMMs — one BLAS call for a whole batch chunk instead of one
+identically-shaped product per example — which reassociates the reductions
+and therefore lives under the tolerance contract of
+:data:`repro.contracts.FAST_CONTRACT` rather than the bit-identity
+contract.
 """
 
 from __future__ import annotations
@@ -146,6 +157,9 @@ class Conv2D(Layer):
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs, batched = _as_batched_maps(inputs, self.name)
+        if inputs.dtype == np.float32:
+            output = self._forward_fast(inputs)
+            return output if batched else output[0]
         batch, channels, height, width = inputs.shape
         out_channels, out_h, out_w = self.output_shape((channels, height, width))
         pad = self._pad_amount()
@@ -182,6 +196,53 @@ class Conv2D(Layer):
             # whole-batch add afterwards would re-traverse the full array.
             out_chunk += self.bias[:, None]
         return output if batched else output[0]
+
+    def _forward_fast(self, inputs: np.ndarray) -> np.ndarray:
+        """float32 forward pass with one *merged* GEMM per batch chunk.
+
+        The im2col buffer is laid out ``(C*k*k, chunk*positions)`` so the
+        whole chunk multiplies in a single sgemm — the merged reduction
+        (and float32 itself) round differently from the exact path, which
+        is precisely what the fast tolerance contract budgets for.
+        """
+        batch, channels, height, width = inputs.shape
+        out_channels, out_h, out_w = self.output_shape((channels, height, width))
+        pad = self._pad_amount()
+        if pad:
+            inputs = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        # Cast per call rather than caching: `weights`/`bias` are public
+        # mutable attributes, and a cached float32 copy would silently go
+        # stale after an assignment.  The cast is a few tens of kilobytes —
+        # noise next to the GEMM it feeds.
+        kernel32 = self.weights.reshape(self.out_channels, -1).astype(np.float32)
+        bias32 = self.bias.astype(np.float32)
+        k = self.kernel_size
+        stride = self.stride
+        positions = out_h * out_w
+        output = np.empty((batch, out_channels, out_h, out_w), dtype=np.float32)
+        out_matrix = output.reshape(batch, out_channels, positions)
+        per_example = channels * k * k * positions * 4
+        chunk_size = max(int(_CONV_BUFFER_BYTES // max(per_example, 1)), 1)
+        for start in range(0, batch, chunk_size):
+            chunk = inputs[start:start + chunk_size]
+            # Channel-major views of the chunk make every tap write one
+            # contiguous (chunk, out_h, out_w) run per channel.
+            chunk_cm = chunk.transpose(1, 0, 2, 3)
+            columns = np.empty((channels, k, k, chunk.shape[0], out_h, out_w),
+                               dtype=np.float32)
+            for tap_y in range(k):
+                for tap_x in range(k):
+                    columns[:, tap_y, tap_x] = chunk_cm[
+                        :, :,
+                        tap_y:tap_y + out_h * stride:stride,
+                        tap_x:tap_x + out_w * stride:stride]
+            column_matrix = columns.reshape(channels * k * k,
+                                            chunk.shape[0] * positions)
+            merged = kernel32 @ column_matrix
+            merged += bias32[:, None]
+            out_matrix[start:start + chunk.shape[0]] = merged.reshape(
+                out_channels, chunk.shape[0], positions).transpose(1, 0, 2)
+        return output
 
 
 class ReLU(Layer):
@@ -320,6 +381,14 @@ class Dense(Layer):
             raise ModelError(
                 f"{self.name}: expected {self.in_features} inputs or a "
                 f"(batch, {self.in_features}) batch, got shape {inputs.shape}")
+        if vectors.dtype == np.float32:
+            # Fast path: one merged float32 GEMM over the whole batch,
+            # covered by the tolerance contract instead of bit-identity.
+            # Weights are cast per call (not cached) so mutating the public
+            # `weights`/`bias` attributes can never leave a stale copy.
+            output = (vectors @ self.weights.T.astype(np.float32)
+                      + self.bias.astype(np.float32))
+            return output if batched else output[0]
         # One identically-shaped (1, in) @ (in, out) product per example, so
         # batched results are exactly equal to per-example results (a single
         # merged GEMM may round differently).
@@ -340,7 +409,10 @@ class Softmax(Layer):
         return 3 * int(np.prod(input_shape))
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        # The fast path keeps float32 end to end; everything else computes
+        # in float64 exactly as the seed implementation did.
+        dtype = np.float32 if np.asarray(inputs).dtype == np.float32 else np.float64
+        inputs = np.asarray(inputs, dtype=dtype)
         if inputs.ndim == 2:
             vectors, batched = inputs, True
         else:

@@ -7,6 +7,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import PRECISION_EXACT, activation_dtype
 from ..errors import ModelError
 from .layers import Layer, Shape
 
@@ -118,11 +119,13 @@ class SequentialModel:
     # ------------------------------------------------------------------ #
     # Inference
     # ------------------------------------------------------------------ #
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
+    def forward(self, inputs: np.ndarray,
+                precision: str = PRECISION_EXACT) -> np.ndarray:
         """Run a full forward pass on one example or a leading-axis batch."""
-        return self.forward_range(inputs, 0, self.num_layers)
+        return self.forward_range(inputs, 0, self.num_layers, precision)
 
-    def forward_range(self, inputs: np.ndarray, start: int, stop: int) -> np.ndarray:
+    def forward_range(self, inputs: np.ndarray, start: int, stop: int,
+                      precision: str = PRECISION_EXACT) -> np.ndarray:
         """Run layers ``start`` (inclusive) to ``stop`` (exclusive).
 
         This is the primitive the NN deployment service uses: the edge engine
@@ -133,11 +136,17 @@ class SequentialModel:
         ``inputs`` may be one activation of the expected shape or a batch of
         them with one extra leading axis; a batch flows through every layer's
         vectorised path in one go.
+
+        ``precision`` selects the numeric mode: ``"exact"`` (the default)
+        computes in float64 through the bit-identical kernels; ``"fast"``
+        casts the activation to float32, routing every layer through its
+        merged-GEMM fast kernel under the tolerance contract of
+        :data:`repro.contracts.FAST_CONTRACT`.
         """
         if not 0 <= start <= stop <= self.num_layers:
             raise ModelError(
                 f"invalid layer range [{start}, {stop}) for {self.num_layers} layers")
-        activation = np.asarray(inputs, dtype=np.float64)
+        activation = np.asarray(inputs, dtype=activation_dtype(precision))
         expected = tuple(self._shapes[start])
         shape = tuple(activation.shape)
         if shape != expected and shape[1:] != expected:
@@ -148,29 +157,33 @@ class SequentialModel:
             activation = self.layers[index].forward(activation)
         return activation
 
-    def predict_class(self, inputs: np.ndarray) -> Tuple[int, np.ndarray]:
+    def predict_class(self, inputs: np.ndarray,
+                      precision: str = PRECISION_EXACT) -> Tuple[int, np.ndarray]:
         """Full forward pass followed by an argmax over the output vector."""
-        output = self.forward(inputs)
+        output = self.forward(inputs, precision)
         vector = np.asarray(output).ravel()
         return int(np.argmax(vector)), vector
 
-    def predict_classes(self, batch: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def predict_classes(self, batch: np.ndarray,
+                        precision: str = PRECISION_EXACT
+                        ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`predict_class`.
 
         Args:
             batch: Batch of inputs with one extra leading axis.
+            precision: Numeric mode (see :meth:`forward_range`).
 
         Returns:
             ``(indices, outputs)`` — the per-example argmax indices of shape
             ``(batch,)`` and the raw output matrix of shape
             ``(batch, *output_shape)``.
         """
-        batch = np.asarray(batch, dtype=np.float64)
+        batch = np.asarray(batch, dtype=activation_dtype(precision))
         if tuple(batch.shape[1:]) != tuple(self.input_shape):
             raise ModelError(
                 f"predict_classes expects a (batch, *{self.input_shape}) "
                 f"array, got {batch.shape}")
-        outputs = self.forward(batch)
+        outputs = self.forward(batch, precision)
         matrix = outputs.reshape(batch.shape[0], -1)
         return np.argmax(matrix, axis=1), outputs
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 
+from ..contracts import validate_precision
 from ..errors import ModelError
 from ..rng import make_rng
 from ..video.events import EventTimeline, LabelSet, NO_LABEL
@@ -126,12 +127,14 @@ class NNDetector(ObjectDetector):
             :func:`repro.nn.yolo_lite.build_yolo_lite`).
         background_label: Class name treated as "nothing detected".
         batch_size: Frames per batched forward pass.
+        precision: Numeric mode of the forward pass — ``"exact"`` (default)
+            or ``"fast"`` (float32 under the tolerance contract).
     """
 
     name = "yolo-lite"
 
     def __init__(self, model, background_label: str = "background",
-                 batch_size: int = 32) -> None:
+                 batch_size: int = 32, precision: str = "exact") -> None:
         from .yolo_lite import classify_frames  # local import avoids cycles
         if getattr(model, "classes", None) is None:
             raise ModelError("NNDetector needs a model with an attached class list")
@@ -140,6 +143,7 @@ class NNDetector(ObjectDetector):
         self.model = model
         self.background_label = background_label
         self.batch_size = int(batch_size)
+        self.precision = validate_precision(precision)
         self._classify_frames = classify_frames
 
     def _to_labels(self, label: str) -> LabelSet:
@@ -159,7 +163,8 @@ class NNDetector(ObjectDetector):
                 f"detect_batch got {len(frame_indices)} indices but "
                 f"{len(frames)} frames")
         labels, _ = self._classify_frames(self.model, list(frames),
-                                          batch_size=self.batch_size)
+                                          batch_size=self.batch_size,
+                                          precision=self.precision)
         return [self._to_labels(label) for label in labels]
 
 

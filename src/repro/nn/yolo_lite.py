@@ -18,6 +18,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import PRECISION_EXACT
 from ..errors import ModelError
 from ..vision.imageops import normalize_plane, resize, to_grayscale
 from .layers import Conv2D, Dense, GlobalAveragePool, MaxPool2D, ReLU, Softmax
@@ -126,14 +127,15 @@ def preprocess_frames(frames: Sequence[np.ndarray],
     return np.stack([preprocess_frame(frame, input_size) for frame in frames])
 
 
-def classify_frame(model: SequentialModel, frame_data: np.ndarray) -> Tuple[str, np.ndarray]:
+def classify_frame(model: SequentialModel, frame_data: np.ndarray,
+                   precision: str = PRECISION_EXACT) -> Tuple[str, np.ndarray]:
     """Run a frame through the model and return ``(label, probabilities)``."""
     classes = getattr(model, "classes", None)
     if classes is None:
         raise ModelError("model has no attached class list")
     input_height, input_width = model.input_shape[1], model.input_shape[2]
     tensor = preprocess_frame(frame_data, (input_height, input_width))
-    index, probabilities = model.predict_class(tensor)
+    index, probabilities = model.predict_class(tensor, precision)
     return classes[index], probabilities
 
 
@@ -144,7 +146,8 @@ DEFAULT_BATCH_SIZE = 16
 
 
 def classify_frames(model: SequentialModel, frames: Sequence[np.ndarray],
-                    batch_size: int = DEFAULT_BATCH_SIZE
+                    batch_size: int = DEFAULT_BATCH_SIZE,
+                    precision: str = PRECISION_EXACT
                     ) -> Tuple[List[str], np.ndarray]:
     """Run many frames through the model in batched chunks.
 
@@ -153,6 +156,9 @@ def classify_frames(model: SequentialModel, frames: Sequence[np.ndarray],
         frames: Raw pixel arrays.
         batch_size: Frames per batched forward pass; bounds peak activation
             memory while amortising the per-layer dispatch overhead.
+        precision: Numeric mode — ``"exact"`` (default, bit-identical
+            float64) or ``"fast"`` (float32 merged GEMMs under the
+            tolerance contract).
 
     Returns:
         ``(labels, probabilities)`` — one label per frame and the stacked
@@ -169,7 +175,7 @@ def classify_frames(model: SequentialModel, frames: Sequence[np.ndarray],
     for start in range(0, len(frames), batch_size):
         chunk = frames[start:start + batch_size]
         tensors = preprocess_frames(chunk, (input_height, input_width))
-        indices, probabilities = model.predict_classes(tensors)
+        indices, probabilities = model.predict_classes(tensors, precision)
         labels.extend(classes[int(index)] for index in indices)
         outputs.append(probabilities)
     if not outputs:

@@ -81,6 +81,8 @@ class BuildTask:
         target_f1: Tuning target (workload tasks only).
         unlabelled_sample_period_seconds: Fallback sampling period for
             unlabelled datasets (workload tasks only).
+        precision: Numeric mode of the analysis pass (dataset tasks;
+            workload tasks take theirs from ``system_config.precision``).
     """
 
     artifact: str
@@ -91,6 +93,14 @@ class BuildTask:
     system_config: Optional[SystemConfig] = None
     target_f1: float = 0.95
     unlabelled_sample_period_seconds: float = 5.0
+    precision: str = "exact"
+
+    @property
+    def dataset_precision(self) -> str:
+        """The precision the task's prepared-dataset artifact is keyed by."""
+        if self.artifact == WORKLOAD_ARTIFACT and self.system_config is not None:
+            return self.system_config.precision
+        return self.precision
 
 
 def execute_build_task(task: BuildTask) -> Tuple[str, str, str]:
@@ -109,7 +119,7 @@ def execute_build_task(task: BuildTask) -> Tuple[str, str, str]:
             task.unlabelled_sample_period_seconds)
     elif task.artifact == DATASET_ARTIFACT:
         prepare_dataset(task.name, task.config, task.split,
-                        task.base_parameters)
+                        task.base_parameters, task.precision)
     else:
         raise ConfigurationError(f"unknown build artifact {task.artifact!r}")
     return (task.artifact, task.name, task.split)
@@ -131,11 +141,10 @@ class WorkloadBuilder:
                  build_workers: Optional[int] = None) -> None:
         self.config = config
         self.system_config = system_config or SystemConfig()
-        self.build_workers = (self.system_config.build_workers
-                              if build_workers is None else build_workers)
-        if self.build_workers < 1:
-            raise ConfigurationError(
-                f"build_workers must be >= 1, got {self.build_workers}")
+        from ..config import resolve_worker_count
+        self.build_workers = resolve_worker_count(
+            self.system_config.build_workers if build_workers is None
+            else build_workers, "build_workers")
 
     # ------------------------------------------------------------------ #
     # Public build surfaces
@@ -164,16 +173,18 @@ class WorkloadBuilder:
         """
         from ..experiments.common import prepare_dataset
         names = list(self.config.datasets if names is None else names)
+        precision = self.system_config.precision
         tasks = [
             BuildTask(artifact=DATASET_ARTIFACT, name=name, split=split,
-                      config=self.config, base_parameters=base_parameters)
+                      config=self.config, base_parameters=base_parameters,
+                      precision=precision)
             for name in names for split in splits
         ]
         with self._pinned(tasks):
             self._warm(tasks)
             return {
                 (name, split): prepare_dataset(name, self.config, split,
-                                               base_parameters)
+                                               base_parameters, precision)
                 for name in names for split in splits
             }
 
@@ -271,7 +282,8 @@ def task_cache_entries(tasks: Sequence[BuildTask]) -> List[Tuple[str, str]]:
     entries: List[Tuple[str, str]] = []
     for task in tasks:
         entries.append((DATASET_CACHE_KIND, dataset_disk_key(
-            task.name, task.config, task.split, task.base_parameters)))
+            task.name, task.config, task.split, task.base_parameters,
+            task.dataset_precision)))
         if task.artifact == WORKLOAD_ARTIFACT:
             entries.append((WORKLOAD_CACHE_KIND, workload_disk_key(
                 task.name, task.config, task.split, task.base_parameters,

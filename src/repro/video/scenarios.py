@@ -208,6 +208,49 @@ def highway(duration_seconds: float = DEFAULT_DURATION_SECONDS,
     return profile.scaled(render_scale)
 
 
+def night(duration_seconds: float = DEFAULT_DURATION_SECONDS,
+          render_scale: float = DEFAULT_RENDER_SCALE,
+          seed: int = 7) -> SceneProfile:
+    """Night-time intersection under a flickering street lamp (720p).
+
+    Not part of the paper's Table I — added as the adversarial profile for
+    scene-cut detection: the scene is dark (low base brightness), the
+    sensor is noisy, and a failing lamp makes the *whole frame's*
+    brightness jump between consecutive frames.  Motion compensation
+    cannot explain a global luma step, so a naive novelty measure would
+    fire on every flicker; the encoder's novel-pixel threshold has to
+    separate the sub-threshold flicker from genuine arrivals of the
+    bright-headlight cars and dim pedestrians.  The flicker amplitude is
+    deliberately *below* the novelty threshold while headlights are far
+    above it.
+    """
+    classes = (
+        (ObjectClassSpec("car", relative_height=0.20, aspect_ratio=2.3,
+                         speed_fraction=0.24, brightness_delta=95.0), 0.6),
+        (ObjectClassSpec("person", relative_height=0.11, aspect_ratio=0.45,
+                         speed_fraction=0.10, brightness_delta=40.0,
+                         shape="ellipse"), 0.4),
+    )
+    profile = SceneProfile(
+        name="night",
+        resolution=RESOLUTION_720P,
+        fps=30.0,
+        duration_seconds=duration_seconds,
+        object_classes=classes,
+        mean_gap_seconds=6.0,
+        mean_dwell_seconds=4.0,
+        noise_std=3.5,
+        background_detail=16.0,
+        texture_detail=20.0,
+        illumination_drift=6.0,
+        base_brightness=45.0,
+        flicker_amplitude=9.0,
+        max_concurrent_objects=2,
+        seed=seed,
+    )
+    return profile.scaled(render_scale)
+
+
 #: Mapping from scenario name to constructor.
 SCENARIOS = {
     "jackson_square": jackson_square,
@@ -216,6 +259,7 @@ SCENARIOS = {
     "taipei": taipei,
     "amsterdam": amsterdam,
     "highway": highway,
+    "night": night,
 }
 
 #: Scenarios for which the paper has ground-truth object labels.

@@ -95,6 +95,15 @@ class SceneProfile:
             than the sensor noise.
         illumination_drift: Peak-to-peak amplitude of a slow global
             brightness oscillation (simulates clouds / daylight changes).
+        base_brightness: Mean luma level of the background's top edge
+            (``110`` reproduces the daylight scenes; low values give
+            night-time footage).
+        flicker_amplitude: Peak amplitude of a *fast* per-frame global
+            brightness jitter (failing street lamps, rolling-shutter
+            beating).  Unlike the slow drift it changes between
+            consecutive frames, so motion compensation cannot explain it
+            away — the stress case for scene-cut detection.  ``0``
+            (default) renders bit-identical to the pre-flicker generator.
         max_concurrent_objects: Upper bound on simultaneously visible objects.
         seed: Root seed for the event schedule and appearance sampling.
     """
@@ -110,12 +119,20 @@ class SceneProfile:
     background_detail: float = 25.0
     texture_detail: float = 28.0
     illumination_drift: float = 3.0
+    base_brightness: float = 110.0
+    flicker_amplitude: float = 0.0
     max_concurrent_objects: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.fps <= 0 or self.duration_seconds <= 0:
             raise ConfigurationError("fps and duration_seconds must be positive")
+        if not 0.0 <= self.base_brightness <= 255.0:
+            raise ConfigurationError(
+                f"base_brightness must be in [0, 255], got {self.base_brightness}")
+        if self.flicker_amplitude < 0:
+            raise ConfigurationError(
+                f"flicker_amplitude must be >= 0, got {self.flicker_amplitude}")
         if not self.object_classes:
             raise ConfigurationError("object_classes must not be empty")
         if self.mean_gap_seconds <= 0 or self.mean_dwell_seconds <= 0:
@@ -347,7 +364,7 @@ class SyntheticScene:
         rng = make_rng(self.profile.seed, self.profile.name, "background")
         height, width = resolution.shape
         yy, xx = np.mgrid[0:height, 0:width]
-        base = 110.0 + 30.0 * (yy / max(height - 1, 1))
+        base = self.profile.base_brightness + 30.0 * (yy / max(height - 1, 1))
         # Low-frequency texture: sum of a few random sinusoids, which gives a
         # smooth "road / water / floor" look without needing image assets.
         texture = np.zeros((height, width), dtype=np.float64)
@@ -368,10 +385,20 @@ class SyntheticScene:
         return np.clip(base + texture + grain, 0, 255)
 
     def _illumination(self, frame_index: int) -> float:
-        """Slow global brightness drift at ``frame_index``."""
+        """Global brightness offset at ``frame_index`` (drift + flicker)."""
         period_frames = 45.0 * self.profile.fps
-        return (self.profile.illumination_drift / 2.0) * math.sin(
+        level = (self.profile.illumination_drift / 2.0) * math.sin(
             2 * math.pi * frame_index / max(period_frames, 1.0))
+        if self.profile.flicker_amplitude > 0:
+            # Per-frame deterministic jitter: unlike the slow drift it is
+            # uncorrelated between consecutive frames, so the whole frame's
+            # residual moves together — exactly what stresses scene-cut
+            # detection in low light.
+            flicker_rng = make_rng(self.profile.seed, self.profile.name,
+                                   "flicker", str(frame_index))
+            level += flicker_rng.uniform(-self.profile.flicker_amplitude,
+                                         self.profile.flicker_amplitude)
+        return level
 
     def frame_array(self, frame_index: int) -> np.ndarray:
         """Render the pixel array of ``frame_index`` (deterministic)."""

@@ -236,12 +236,19 @@ class TestParallelComponents:
 
 
 class TestValidation:
-    def test_fleet_workers_must_be_positive(self):
+    def test_fleet_workers_must_be_non_negative(self):
         jobs = make_jobs(2)
         with pytest.raises(ClusterError):
-            FleetOrchestrator(jobs, fleet_workers=0)
+            FleetOrchestrator(jobs, fleet_workers=-1)
         with pytest.raises(ConfigurationError):
-            SystemConfig(fleet_workers=0)
+            SystemConfig(fleet_workers=-1)
+
+    def test_zero_fleet_workers_means_auto(self):
+        import os
+        expected = max(os.cpu_count() or 1, 1)
+        assert SystemConfig(fleet_workers=0).fleet_workers == expected
+        orchestrator = FleetOrchestrator(make_jobs(2), fleet_workers=0)
+        assert orchestrator.fleet_workers == expected
 
     def test_with_bandwidth_preserves_fleet_workers(self):
         config = SystemConfig(fleet_workers=3).with_bandwidth(10.0)

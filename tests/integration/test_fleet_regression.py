@@ -165,3 +165,72 @@ class TestMultiprocessParity:
         assert parallel.edge_seconds == pytest.approx(serial.edge_seconds,
                                                       rel=TOLERANCE)
         self._assert_fleet_reports_match(serial.fleet, parallel.fleet)
+
+
+def make_night_instance() -> DatasetInstance:
+    """The flickering low-light clip both sides of the night tests share.
+
+    One constructor keeps the exact and fast builds on the *same* footage —
+    two drifting copies would silently turn the fast-vs-exact comparison
+    into a comparison across different clips.
+    """
+    spec = DatasetSpec(
+        name="night", objects=("car", "person"),
+        nominal_resolution=RESOLUTION_720P, fps=30.0,
+        paper_duration_hours=4.0,
+        description="flickering low-light intersection",
+        has_labels=True)
+    profile = make_scenario("night", duration_seconds=10, render_scale=0.08)
+    return DatasetInstance(spec=spec, profile=profile,
+                           video=SyntheticScene(profile).video())
+
+
+class TestNightScenario:
+    """The flickering low-light profile flows through the whole fleet path:
+    serial == scheduled == multiprocess, under both precision modes, and
+    the scene-cut stage does not degenerate under sub-threshold flicker."""
+
+    @pytest.fixture(scope="class")
+    def night_workload(self):
+        # Pinned exact: this workload doubles as the reference side of the
+        # fast-vs-exact comparison below, which must stay differential even
+        # on the REPRO_PRECISION=fast CI leg.
+        return build_workload(make_night_instance(),
+                              config=SystemConfig(precision="exact"))
+
+    def test_flicker_does_not_storm_iframes(self, night_workload):
+        # The lamp flicker sits below the novel-pixel threshold: the
+        # semantic encoding must select far fewer I-frames than frames,
+        # but still at least one per genuine event.
+        assert 0 < night_workload.num_semantic_iframes
+        assert (night_workload.num_semantic_iframes
+                < 0.3 * night_workload.num_frames)
+
+    @pytest.mark.parametrize("mode", ALL_DEPLOYMENT_MODES,
+                             ids=lambda mode: mode.name)
+    def test_fleet_run_matches_seed_serial_run(self, night_workload, mode):
+        simulation = EndToEndSimulation([night_workload], SystemConfig())
+        fleet = simulation.run(mode)
+        seed = simulation.run_serial(mode)
+        assert fleet.total_frames == seed.total_frames
+        assert fleet.edge_cloud_bytes == seed.edge_cloud_bytes
+        assert fleet.throughput_fps == pytest.approx(seed.throughput_fps,
+                                                     rel=TOLERANCE)
+
+    def test_multiprocess_parity(self, night_workload):
+        mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
+        jobs = [plan_camera_job(night_workload, mode,
+                                camera=f"night-{index}")
+                for index in range(4)]
+        serial = FleetOrchestrator(jobs, num_edge_servers=2).run()
+        parallel = FleetOrchestrator(jobs, num_edge_servers=2,
+                                     fleet_workers=2).run()
+        assert serial.parity_mismatches(parallel, TOLERANCE) == []
+
+    def test_fast_precision_workload_close_to_exact(self, night_workload):
+        from repro.contracts import FAST_CONTRACT, selection_agreement
+        fast = build_workload(make_night_instance(),
+                              config=SystemConfig(precision="fast"))
+        assert selection_agreement(night_workload.semantic_samples,
+                                   fast.semantic_samples) >= (
+            FAST_CONTRACT.detections.min_agreement)

@@ -173,9 +173,15 @@ class TestDegradationPaths:
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ConfigurationError):
-            WorkloadBuilder(QUICK, build_workers=0)
+            WorkloadBuilder(QUICK, build_workers=-1)
         with pytest.raises(ConfigurationError):
-            SystemConfig(build_workers=0)
+            SystemConfig(build_workers=-1)
+
+    def test_zero_workers_means_auto(self):
+        import os
+        expected = max(os.cpu_count() or 1, 1)
+        assert WorkloadBuilder(QUICK, build_workers=0).build_workers == expected
+        assert SystemConfig(build_workers=0).build_workers == expected
 
 
 class TestBuildTaskPlumbing:

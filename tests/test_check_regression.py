@@ -110,6 +110,20 @@ class TestCompareRuns:
         assert not any(delta.failed and delta.section == "scheduler_event_loop"
                        for delta in relaxed)
 
+    def test_exact_entry_name_tolerance_beats_section(self, baseline_run):
+        """A full-entry-name override wins over its section's tolerance —
+        how the CI gates give an absolute `.optimised` wall-clock a wide
+        allowance while the sibling `.speedup` ratio stays tight."""
+        worse = slowed(baseline_run, 1.5)
+        relaxed = check_regression.compare_runs(
+            baseline_run, worse,
+            tolerances={"entropy_encode": 0.1,
+                        "entropy_encode.optimised": 2.0})
+        by_name = {delta.name: delta for delta in relaxed}
+        assert not by_name["entropy_encode.optimised"].failed
+        assert by_name["entropy_encode.optimised"].tolerance == 2.0
+        assert by_name["entropy_encode.speedup"].failed
+
     def test_improvements_never_fail(self, baseline_run):
         deltas = check_regression.compare_runs(baseline_run,
                                                slowed(baseline_run, 0.25))
