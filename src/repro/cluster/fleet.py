@@ -44,6 +44,30 @@ from ..rng import make_rng
 LATENCY_PERCENTILES = (50, 95, 99)
 
 
+def latency_percentiles_of(latencies: Sequence[float]) -> Dict[int, float]:
+    """The report's latency percentiles over ``latencies``.
+
+    An empty sample — a fleet whose admission control rejected every camera,
+    or a service snapshot taken before any completion — yields ``nan`` at
+    every percentile rather than raising, so report assembly stays
+    well-formed (``np.percentile`` errors on empty input).
+    """
+    if len(latencies) == 0:
+        return {percentile: float("nan") for percentile in LATENCY_PERCENTILES}
+    return {percentile: float(np.percentile(latencies, percentile))
+            for percentile in LATENCY_PERCENTILES}
+
+
+def tier_report(stats, capacity: int, makespan: float) -> "TierReport":
+    """Fold one station's statistics into a :class:`TierReport`."""
+    utilisation = (stats.busy_seconds / (capacity * makespan)
+                   if makespan > 0 else 0.0)
+    return TierReport(busy_seconds=stats.busy_seconds,
+                      utilisation=utilisation,
+                      max_queue_depth=stats.max_queue_depth,
+                      completed=stats.completed)
+
+
 class PlacementPolicy(enum.Enum):
     """How cameras are sharded across the edge servers."""
 
@@ -199,7 +223,8 @@ class FleetReport:
     def aggregate_throughput_fps(self) -> float:
         """Fleet-wide frames per second over the makespan."""
         if self.makespan_seconds <= 0:
-            return float("inf")
+            # An empty fleet moved nothing in no time: 0 fps, not 0/0 = inf.
+            return 0.0 if self.total_frames == 0 else float("inf")
         return self.total_frames / self.makespan_seconds
 
     @property
@@ -334,8 +359,9 @@ class FleetOrchestrator:
                  arrival_jitter_seconds: float = 0.0,
                  seed: Optional[int] = None,
                  fleet_workers: Optional[int] = None) -> None:
-        if not jobs:
-            raise ClusterError("the fleet needs at least one camera job")
+        # An empty job list is legal: admission control may reject every
+        # camera, and the orchestrator must still produce a well-formed
+        # (all-zero, nan-percentile) report rather than crash downstream.
         names = [job.camera for job in jobs]
         if len(set(names)) != len(names):
             raise ClusterError(f"camera names must be unique, got {names}")
@@ -455,8 +481,7 @@ class FleetOrchestrator:
         makespan = max((outcome.end_seconds for outcome in outcomes),
                        default=0.0)
         latencies = sorted(outcome.latency_seconds for outcome in outcomes)
-        percentiles = {percentile: float(np.percentile(latencies, percentile))
-                       for percentile in LATENCY_PERCENTILES}
+        percentiles = latency_percentiles_of(latencies)
         edge_tiers = [self._tier(station.stats, station.capacity, makespan)
                       for station in edge_stations]
         wan_tiers = [self._tier(link.stats, 1, makespan) for link in wan_links]
@@ -512,14 +537,9 @@ class FleetOrchestrator:
 
         scheduler.schedule_at(outcome.start_seconds, _ingest)
 
-    @staticmethod
-    def _tier(stats, capacity: int, makespan: float) -> TierReport:
-        utilisation = (stats.busy_seconds / (capacity * makespan)
-                       if makespan > 0 else 0.0)
-        return TierReport(busy_seconds=stats.busy_seconds,
-                          utilisation=utilisation,
-                          max_queue_depth=stats.max_queue_depth,
-                          completed=stats.completed)
+    # Kept as a method alias so the multiprocess merge and subclasses keep
+    # one definition of tier folding (the logic lives in `tier_report`).
+    _tier = staticmethod(tier_report)
 
 
 def sweep_edge_counts(jobs: Sequence[CameraJob],

@@ -42,16 +42,37 @@ def default_precision() -> str:
         os.environ.get(PRECISION_ENV, PRECISION_EXACT).strip() or PRECISION_EXACT)
 
 
+def available_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    Resolution order: the scheduling-affinity mask first
+    (``len(os.sched_getaffinity(0))`` — it honours container cpusets,
+    cgroup CPU pinning and ``taskset`` restrictions, where
+    :func:`os.cpu_count` reports the whole machine and over-subscribes
+    CI containers), then :func:`os.cpu_count`, then ``1``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:  # absent on macOS/Windows
+        try:
+            affinity = getaffinity(0)
+        except OSError:
+            affinity = None
+        if affinity:
+            return len(affinity)
+    return max(os.cpu_count() or 1, 1)
+
+
 def resolve_worker_count(workers: int, name: str) -> int:
     """Resolve a worker-count setting, treating ``0`` as "auto".
 
-    ``0`` sizes the pool from :func:`os.cpu_count` (falling back to ``1``
-    when the count is unknown); positive values pass through unchanged.
+    ``0`` sizes the pool from :func:`available_cpu_count` (affinity mask
+    first, then :func:`os.cpu_count`, then ``1``); positive values pass
+    through unchanged.
     """
     if workers < 0:
         raise ConfigurationError(f"{name} must be >= 0, got {workers}")
     if workers == 0:
-        return max(os.cpu_count() or 1, 1)
+        return available_cpu_count()
     return workers
 
 
@@ -128,8 +149,8 @@ class SystemConfig:
             per-edge pipelines across a ``ProcessPoolExecutor`` and merge
             the results deterministically — the report is equal to the
             serial one regardless of worker count or completion order.
-            ``0`` means "auto": the count resolves to :func:`os.cpu_count`
-            at construction time.
+            ``0`` means "auto": the count resolves to
+            :func:`available_cpu_count` at construction time.
         build_workers: Worker *processes* used to build experiment
             workloads (dataset render -> analysis -> tuning -> size-only
             encodes; see :class:`repro.parallel.WorkloadBuilder`).  ``1``
@@ -138,7 +159,7 @@ class SystemConfig:
             content-keyed disk-cache entries, and the parent assembles
             the results deterministically by dataset — byte-identical
             cache artifacts and equal workload objects either way.
-            ``0`` means "auto" (resolved via :func:`os.cpu_count`).
+            ``0`` means "auto" (resolved via :func:`available_cpu_count`).
         precision: Numeric mode of the hot paths.  ``"exact"`` (the
             default) keeps every optimised kernel bit-identical to the seed
             implementation; ``"fast"`` routes NN inference and the motion

@@ -69,6 +69,32 @@ class EventScheduler:
         """Number of events not yet fired."""
         return len(self._heap)
 
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next pending event (``None`` when idle).
+
+        Clock drivers (:mod:`repro.service.clock`) peek at this to decide how
+        long to pace before firing :meth:`step`.
+        """
+        return self._heap[0][0] if self._heap else None
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without firing any event.
+
+        Used by horizon-bounded runs and real-time clock drivers to move the
+        clock to a quiescent instant.  The target must not lie in the past or
+        beyond the next pending event (that event would then appear to fire
+        late).
+        """
+        if time < self._now:
+            raise DataflowError(
+                f"cannot advance to {time:.6f}s, clock is at {self._now:.6f}s")
+        if self._heap and self._heap[0][0] < time:
+            raise DataflowError(
+                f"cannot advance to {time:.6f}s past the pending event at "
+                f"{self._heap[0][0]:.6f}s")
+        self._now = float(time)
+
     def schedule_at(self, time: float, action: Action) -> None:
         """Schedule ``action`` to fire at absolute virtual ``time``."""
         if time < self._now:
@@ -96,6 +122,12 @@ class EventScheduler:
     def run(self, until: Optional[float] = None) -> int:
         """Fire events until the heap is empty (or ``until`` is reached).
 
+        Horizon semantics (relied on by the real-time clock drivers and
+        pinned by ``tests/service/test_horizon_accounting.py``): an event
+        scheduled *exactly at* ``until`` fires, strictly later events stay
+        queued, the clock always advances to ``until``, and a subsequent
+        ``run()`` resumes from the untouched heap.
+
         Returns:
             The number of events fired by this call.
         """
@@ -106,7 +138,7 @@ class EventScheduler:
             self.step()
             fired += 1
         if until is not None and until > self._now:
-            self._now = until
+            self.advance_to(until)
         return fired
 
 
@@ -116,6 +148,9 @@ class StationStats:
 
     Attributes:
         busy_seconds: Total service time consumed across all workers.
+            Accrues when a job *finishes*, so a horizon-truncated run only
+            counts completed service (in-flight pro-rating is available via
+            :meth:`ServiceStation.busy_seconds_elapsed`).
         completed: Number of jobs (or batches) fully served.
         arrivals: Number of jobs submitted.
         max_queue_depth: Peak number of jobs waiting (excluding in service).
@@ -127,12 +162,15 @@ class StationStats:
     max_queue_depth: int = 0
 
 
-@dataclass
+# eq=False: jobs are tracked by identity while in flight (payloads may be
+# numpy arrays, whose ``==`` is elementwise and cannot back list removal).
+@dataclass(eq=False)
 class _StationJob:
     service_seconds: float
     on_complete: Optional[Callable[[Any], None]]
     payload: Any
     on_start: Optional[Callable[[Any], None]] = None
+    started_at: float = 0.0
 
 
 class ServiceStation:
@@ -153,6 +191,7 @@ class ServiceStation:
         self.capacity = capacity
         self.stats = StationStats()
         self._queue: Deque[_StationJob] = deque()
+        self._active: List[_StationJob] = []
         self._in_service = 0
 
     @property
@@ -189,7 +228,8 @@ class ServiceStation:
         while self._queue and self._in_service < self.capacity:
             job = self._queue.popleft()
             self._in_service += 1
-            self.stats.busy_seconds += job.service_seconds
+            job.started_at = self.scheduler.now
+            self._active.append(job)
             if job.on_start is not None:
                 job.on_start(job.payload)
             self.scheduler.schedule(job.service_seconds,
@@ -200,16 +240,45 @@ class ServiceStation:
 
     def _finish(self, job: _StationJob) -> None:
         self._in_service -= 1
+        self._active.remove(job)
+        # Busy time accrues at completion, never at dispatch: a run cut off
+        # at a horizon must not count unfinished service as consumed (which
+        # used to push utilisation past 1.0 on truncated runs).
+        self.stats.busy_seconds += job.service_seconds
         self.stats.completed += 1
         if job.on_complete is not None:
             job.on_complete(job.payload)
         self._try_start()
 
-    def utilisation(self, makespan_seconds: float) -> float:
-        """Fraction of worker time spent busy over ``makespan_seconds``."""
+    def busy_seconds_elapsed(self, now: Optional[float] = None) -> float:
+        """Service time actually consumed by ``now``, in-flight pro-rated.
+
+        Completed jobs contribute their full service time; jobs still in
+        service contribute only the slice between their start and ``now``
+        (default: the scheduler clock).  This is the quantity a live
+        snapshot must report — it can never exceed ``capacity * now``.
+        """
+        if now is None:
+            now = self.scheduler.now
+        elapsed = self.stats.busy_seconds
+        for job in self._active:
+            elapsed += min(max(now - job.started_at, 0.0), job.service_seconds)
+        return elapsed
+
+    def utilisation(self, makespan_seconds: float,
+                    now: Optional[float] = None) -> float:
+        """Fraction of worker time spent busy over ``makespan_seconds``.
+
+        With ``now`` given, jobs still in service are pro-rated to that
+        snapshot instant, so mid-run utilisation is exact and bounded by
+        1.0; without it only completed service counts (which is the whole
+        story once the station has drained).
+        """
         if makespan_seconds <= 0:
             return 0.0
-        return self.stats.busy_seconds / (self.capacity * makespan_seconds)
+        busy = (self.stats.busy_seconds if now is None
+                else self.busy_seconds_elapsed(now))
+        return busy / (self.capacity * makespan_seconds)
 
 
 @dataclass(frozen=True)

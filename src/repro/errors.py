@@ -58,3 +58,15 @@ class PipelineError(SieveError):
 
 class TuningError(SieveError):
     """Raised by the offline encoder-parameter tuner."""
+
+
+class ServiceError(SieveError):
+    """Raised by the real-time streaming service layer."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when a new stream session is refused admission."""
+
+
+class BackpressureError(ServiceError):
+    """Raised when a frame push exceeds a session's backpressure bounds."""

@@ -49,6 +49,11 @@ class ContendedLink:
         """Transfers currently waiting for the link."""
         return self._station.queue_depth
 
+    @property
+    def in_service(self) -> int:
+        """Transfers currently occupying the link."""
+        return self._station.in_service
+
     def submit(self, size_bytes: int, description: str = "",
                on_complete: Optional[Callable[[Any], None]] = None,
                payload: Any = None,
@@ -70,6 +75,15 @@ class ContendedLink:
         self._station.submit(duration, on_complete=_deliver, payload=payload,
                              on_start=on_start)
 
-    def utilisation(self, makespan_seconds: float) -> float:
-        """Fraction of link time spent transferring over ``makespan_seconds``."""
-        return self._station.utilisation(makespan_seconds)
+    def busy_seconds_elapsed(self, now: Optional[float] = None) -> float:
+        """Transfer time actually consumed by ``now`` (in-flight pro-rated)."""
+        return self._station.busy_seconds_elapsed(now)
+
+    def utilisation(self, makespan_seconds: float,
+                    now: Optional[float] = None) -> float:
+        """Fraction of link time spent transferring over ``makespan_seconds``.
+
+        With ``now`` given, an in-flight transfer is pro-rated to the
+        snapshot instant (see :meth:`ServiceStation.utilisation`).
+        """
+        return self._station.utilisation(makespan_seconds, now=now)

@@ -45,8 +45,6 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from ..config import SystemConfig
 from ..dataflow.scheduler import EventScheduler, ServiceStation, StationStats
 from ..errors import ClusterError
@@ -293,8 +291,8 @@ def run_parallel(orchestrator: "FleetOrchestrator",
     simulated concurrently.  The merge is deterministic regardless of
     worker completion order: results are keyed and combined by edge index.
     """
-    from ..cluster.fleet import (LATENCY_PERCENTILES, FleetReport, JobOutcome,
-                                 TierReport)
+    from ..cluster.fleet import (FleetReport, JobOutcome, TierReport,
+                                 latency_percentiles_of)
     if fleet_workers < 1:
         raise ClusterError(f"fleet_workers must be >= 1, got {fleet_workers}")
     watch = Stopwatch().start()
@@ -342,8 +340,7 @@ def run_parallel(orchestrator: "FleetOrchestrator",
     ]
     makespan = max((outcome.end_seconds for outcome in outcomes), default=0.0)
     latencies = sorted(outcome.latency_seconds for outcome in outcomes)
-    percentiles = {percentile: float(np.percentile(latencies, percentile))
-                   for percentile in LATENCY_PERCENTILES}
+    percentiles = latency_percentiles_of(latencies)
 
     ordered = [results[index] for index in sorted(results)]
     tier = orchestrator._tier

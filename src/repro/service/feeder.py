@@ -1,0 +1,98 @@
+"""Deterministic chunk feeders: simulated live cameras.
+
+A :class:`ChunkFeeder` plays a pre-planned list of
+:class:`~repro.service.session.FrameChunk` into an open session at a fixed
+virtual period, the way a camera delivers one group of pictures per
+interval.  Pushes that hit backpressure are retried after a (virtual)
+delay instead of being dropped, and the session is closed when the plan is
+exhausted.
+
+Everything the feeder does is a control event on the service's scheduler
+(:meth:`StreamingService.at` / :meth:`~StreamingService.after`), so a fed
+workload is bit-identical under the virtual and real-time clock drivers —
+the property the parity tests and ``examples/streaming_service.py`` pin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import BackpressureError, ServiceError
+from .session import FrameChunk
+
+
+class ChunkFeeder:
+    """Push a chunk plan into one session at a fixed virtual period.
+
+    Args:
+        service: The owning :class:`~repro.service.service.StreamingService`.
+        session_id: Target session (must be open when pushes fire).
+        chunks: The chunk plan, pushed in order.
+        period_seconds: Virtual seconds between consecutive pushes.
+        retry_seconds: Back-off before retrying a push that hit
+            backpressure (default: a quarter period).
+        close_when_done: Close the session after the last chunk is pushed.
+    """
+
+    def __init__(self, service, session_id: str,
+                 chunks: Sequence[FrameChunk], period_seconds: float,
+                 retry_seconds: Optional[float] = None,
+                 close_when_done: bool = True) -> None:
+        if period_seconds <= 0:
+            raise ServiceError(
+                f"period_seconds must be positive, got {period_seconds}")
+        if retry_seconds is not None and retry_seconds <= 0:
+            raise ServiceError(
+                f"retry_seconds must be positive, got {retry_seconds}")
+        self._service = service
+        self.session_id = session_id
+        self.chunks = list(chunks)
+        self.period_seconds = float(period_seconds)
+        self.retry_seconds = (float(retry_seconds) if retry_seconds is not None
+                              else self.period_seconds / 4.0)
+        self.close_when_done = close_when_done
+        #: Index of the next chunk to push.
+        self.next_index = 0
+        #: Pushes that hit backpressure and were rescheduled.
+        self.retries = 0
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        """Whether every chunk in the plan has been pushed."""
+        return self.next_index >= len(self.chunks)
+
+    def start(self, at: Optional[float] = None) -> "ChunkFeeder":
+        """Schedule the first push (``at`` absolute time, default: now)."""
+        if self._started:
+            raise ServiceError(
+                f"feeder for {self.session_id!r} already started")
+        self._started = True
+        if not self.chunks:
+            self._maybe_close()
+            return self
+        if at is None:
+            at = self._service.scheduler.now
+        self._service.at(at, self._push)
+        return self
+
+    def _push(self) -> None:
+        if self.done:  # pragma: no cover - defensive; _push stops at the end.
+            return
+        chunk = self.chunks[self.next_index]
+        try:
+            self._service.push_frames(self.session_id, chunk)
+        except BackpressureError:
+            # Push back: retry the same chunk later instead of dropping it.
+            self.retries += 1
+            self._service.after(self.retry_seconds, self._push)
+            return
+        self.next_index += 1
+        if self.done:
+            self._maybe_close()
+        else:
+            self._service.after(self.period_seconds, self._push)
+
+    def _maybe_close(self) -> None:
+        if self.close_when_done:
+            self._service.close_session(self.session_id)

@@ -1,0 +1,232 @@
+"""Stream ingest: admission control and backpressure for live sessions.
+
+:class:`StreamIngest` is the service's front door.  It decides which
+camera streams get in (:meth:`open_session`), polices how fast each one
+may push (:meth:`push_frames`), and tracks the session lifecycle through
+draining and close.  It deliberately knows nothing about stations, links
+or clocks — the owning :class:`~repro.service.service.StreamingService`
+injects three callables (attach a session's uplink, submit a chunk, read a
+WAN queue depth), so admission logic stays unit-testable with stubs.
+
+Admission is refused (:class:`~repro.errors.AdmissionError`) when the
+service-wide session cap is hit, the tenant is unknown, the tenant's own
+quota is exhausted, or the target edge's WAN uplink queue is already past
+the configured bound.  Accepted sessions are placed round-robin across
+edge servers unless the caller pins one.
+
+Backpressure is per-session and live-tunable: a push that would exceed the
+session's ``max_pending_chunks`` in-flight bound, or that arrives while
+the edge's WAN queue is past the service bound, raises
+:class:`~repro.errors.BackpressureError` — the caller (e.g.
+:class:`~repro.service.feeder.ChunkFeeder`) is expected to retry later
+rather than have the service queue unboundedly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..errors import AdmissionError, BackpressureError, ServiceError
+from .session import FrameChunk, SessionState, StreamSession, TenantPolicy
+
+
+class StreamIngest:
+    """Admission control and per-session backpressure.
+
+    Args:
+        scheduler: The service's event scheduler (read for timestamps only).
+        num_edge_servers: Edge servers available for placement.
+        attach_session: Callback invoked with a newly admitted
+            :class:`StreamSession` so the service can build its uplink.
+        submit_chunk: Callback ``(session, chunk) -> None`` that injects an
+            accepted chunk into the service pipeline.
+        wan_queue_depth: Callback ``(edge_index) -> int`` reporting the
+            edge's WAN uplink queue depth (drives admission/backpressure).
+        max_sessions: Service-wide concurrent session cap.
+        max_wan_queue_depth: When set, refuse admission to an edge whose
+            WAN queue is at or past this depth, and push back frame pushes
+            while it stays there.  ``None`` disables the WAN bound.
+        tenants: Initial tenant policies.  A ``"default"`` tenant is
+            registered automatically if absent.
+    """
+
+    def __init__(self, scheduler, num_edge_servers: int,
+                 attach_session: Callable[[StreamSession], None],
+                 submit_chunk: Callable[[StreamSession, FrameChunk], None],
+                 wan_queue_depth: Callable[[int], int],
+                 max_sessions: int = 64,
+                 max_wan_queue_depth: Optional[int] = None,
+                 tenants: Sequence[TenantPolicy] = ()) -> None:
+        if num_edge_servers < 1:
+            raise ServiceError("num_edge_servers must be >= 1")
+        if max_sessions < 1:
+            raise ServiceError("max_sessions must be >= 1")
+        if max_wan_queue_depth is not None and max_wan_queue_depth < 1:
+            raise ServiceError("max_wan_queue_depth must be >= 1 or None")
+        self._scheduler = scheduler
+        self.num_edge_servers = int(num_edge_servers)
+        self._attach_session = attach_session
+        self._submit_chunk = submit_chunk
+        self._wan_queue_depth = wan_queue_depth
+        self.max_sessions = int(max_sessions)
+        self.max_wan_queue_depth = max_wan_queue_depth
+        self.tenants: Dict[str, TenantPolicy] = {}
+        for policy in tenants:
+            self.tenants[policy.name] = policy
+        if "default" not in self.tenants:
+            self.tenants["default"] = TenantPolicy(name="default")
+        #: All sessions ever admitted, in admission order, by session id.
+        self.sessions: Dict[str, StreamSession] = {}
+        self._placement_counter = 0
+        #: Pushes refused with BackpressureError (monotonic counter).
+        self.pushes_rejected = 0
+        #: Sessions refused with AdmissionError (monotonic counter).
+        self.sessions_rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # Tenants
+    # ------------------------------------------------------------------ #
+    def register_tenant(self, policy: TenantPolicy) -> None:
+        """Add or replace a tenant policy.
+
+        Replacing a policy is graceful: existing sessions keep their
+        current placement, uplinks and backpressure bounds; only future
+        admissions and pushes see the new quota.
+        """
+        self.tenants[policy.name] = policy
+
+    def active_sessions_of(self, tenant: str) -> int:
+        """Sessions of ``tenant`` currently open or draining."""
+        return sum(1 for session in self.sessions.values()
+                   if session.tenant == tenant
+                   and session.state is not SessionState.CLOSED)
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions currently open or draining, across all tenants."""
+        return sum(1 for session in self.sessions.values()
+                   if session.state is not SessionState.CLOSED)
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def open_session(self, camera: str, tenant: str = "default",
+                     edge_index: Optional[int] = None) -> StreamSession:
+        """Admit a camera stream, or raise :class:`AdmissionError`."""
+        try:
+            if camera in self.sessions and (
+                    self.sessions[camera].state is not SessionState.CLOSED):
+                raise AdmissionError(
+                    f"camera {camera!r} already has an active session")
+            if self.active_sessions >= self.max_sessions:
+                raise AdmissionError(
+                    f"service is full ({self.max_sessions} sessions)")
+            policy = self.tenants.get(tenant)
+            if policy is None:
+                raise AdmissionError(f"unknown tenant {tenant!r}")
+            if self.active_sessions_of(tenant) >= policy.max_sessions:
+                raise AdmissionError(
+                    f"tenant {tenant!r} is at its session quota "
+                    f"({policy.max_sessions})")
+            if edge_index is None:
+                edge_index = self._placement_counter % self.num_edge_servers
+                self._placement_counter += 1
+            elif not 0 <= edge_index < self.num_edge_servers:
+                raise AdmissionError(
+                    f"edge_index {edge_index} out of range "
+                    f"[0, {self.num_edge_servers})")
+            if (self.max_wan_queue_depth is not None
+                    and self._wan_queue_depth(edge_index)
+                    >= self.max_wan_queue_depth):
+                raise AdmissionError(
+                    f"edge {edge_index} uplink is saturated "
+                    f"(queue >= {self.max_wan_queue_depth})")
+        except AdmissionError:
+            self.sessions_rejected += 1
+            raise
+        session = StreamSession(
+            session_id=camera, camera=camera, tenant=tenant,
+            edge_index=edge_index, opened_at=self._scheduler.now,
+            max_pending_chunks=policy.max_pending_chunks)
+        self.sessions[camera] = session
+        self._attach_session(session)
+        return session
+
+    def push_frames(self, session_id: str, chunk: FrameChunk) -> None:
+        """Accept a frame chunk into the pipeline, or push back.
+
+        Raises:
+            ServiceError: The session does not exist or is not open.
+            BackpressureError: The session's in-flight bound or the edge's
+                WAN queue bound is exceeded; retry later.
+        """
+        session = self._session(session_id)
+        if not session.is_open:
+            raise ServiceError(
+                f"session {session_id!r} is {session.state.value}, "
+                "not open for pushes")
+        if session.in_flight >= session.max_pending_chunks:
+            self.pushes_rejected += 1
+            raise BackpressureError(
+                f"session {session_id!r} has {session.in_flight} chunks "
+                f"in flight (bound {session.max_pending_chunks})")
+        if (self.max_wan_queue_depth is not None
+                and self._wan_queue_depth(session.edge_index)
+                >= self.max_wan_queue_depth):
+            self.pushes_rejected += 1
+            raise BackpressureError(
+                f"edge {session.edge_index} uplink is saturated "
+                f"(queue >= {self.max_wan_queue_depth})")
+        now = self._scheduler.now
+        if session.chunks_pushed == 0:
+            session.first_arrival = now
+        session.chunks_pushed += 1
+        session.frames_pushed += chunk.num_frames
+        session.frames_for_inference += chunk.frames_for_inference
+        session.edge_seconds_pushed += chunk.edge_seconds
+        session.cloud_seconds_pushed += chunk.cloud_seconds
+        session.camera_edge_bytes_pushed += chunk.camera_edge_bytes
+        session.edge_cloud_bytes_pushed += chunk.edge_cloud_bytes
+        self._submit_chunk(session, chunk)
+
+    def close_session(self, session_id: str) -> StreamSession:
+        """Stop accepting pushes; the session drains its in-flight chunks."""
+        session = self._session(session_id)
+        if session.state is SessionState.CLOSED:
+            return session
+        session.state = SessionState.DRAINING
+        self._maybe_finalise(session)
+        return session
+
+    def retune_session(self, session_id: str, *,
+                       max_pending_chunks: int) -> StreamSession:
+        """Adjust a live session's backpressure bound without dropping it."""
+        if max_pending_chunks < 1:
+            raise ServiceError("max_pending_chunks must be >= 1")
+        session = self._session(session_id)
+        if session.state is SessionState.CLOSED:
+            raise ServiceError(f"session {session_id!r} is closed")
+        session.max_pending_chunks = int(max_pending_chunks)
+        return session
+
+    def on_chunk_complete(self, session: StreamSession,
+                          latency_seconds: float) -> None:
+        """Record a finished chunk (called by the service pipeline)."""
+        session.chunks_completed += 1
+        session.last_completion = self._scheduler.now
+        session.chunk_latencies.append(latency_seconds)
+        self._maybe_finalise(session)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _session(self, session_id: str) -> StreamSession:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return session
+
+    def _maybe_finalise(self, session: StreamSession) -> None:
+        if session.state is SessionState.DRAINING and session.in_flight == 0:
+            session.state = SessionState.CLOSED
+            session.closed_at = self._scheduler.now

@@ -1,0 +1,336 @@
+"""The long-running streaming service over the discrete-event engine.
+
+:class:`StreamingService` assembles the pieces into the deployment shape
+of the batch :class:`~repro.cluster.fleet.FleetOrchestrator` — per-edge
+compute stations and WAN uplinks funnelling into one cloud tier — but
+driven live:
+
+* cameras connect through :class:`~repro.service.ingest.StreamIngest`
+  sessions and push :class:`~repro.service.session.FrameChunk` work
+  incrementally instead of arriving as one pre-planned batch;
+* a :class:`~repro.service.clock.ClockDriver` decides how the event loop
+  advances — :class:`VirtualClock` drains as fast as possible (bit-identical
+  to the batch simulators), :class:`RealTimeClock` paces against the wall;
+* :meth:`status` serves live health snapshots whose utilisations are exact
+  (and bounded by 1.0) even mid-service, via the pro-rated busy accounting
+  on :class:`~repro.dataflow.scheduler.ServiceStation`;
+* :meth:`fleet_report` folds the finished streams into an ordinary
+  :class:`~repro.cluster.fleet.FleetReport`, so the existing
+  ``parity_mismatches`` contract can compare a real-time run against a
+  virtual-clock run of the same workload.
+
+Determinism and parity: everything that can change simulation state —
+frame pushes, session opens/closes, tenant registration, retuning — either
+happens between ``run`` calls or is scheduled as a control event via
+:meth:`at` / :meth:`after`.  Control events live on the same heap as
+service completions with the same tie-breaking, so the event sequence (and
+therefore every report field) is identical under any clock driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cluster.fleet import (CameraJob, FleetReport, JobOutcome,
+                             PlacementPolicy, latency_percentiles_of,
+                             tier_report)
+from ..config import SystemConfig
+from ..dataflow.scheduler import EventScheduler, ServiceStation
+from ..errors import ServiceError
+from ..net.contention import ContendedLink
+from ..net.link import NetworkLink
+from ..perf import Stopwatch, section
+from .clock import ClockDriver, RealTimeClock, VirtualClock
+from .ingest import StreamIngest
+from .session import FrameChunk, SessionState, StreamSession, TenantPolicy
+from .status import (ServiceStatus, SessionSnapshot, StationSnapshot,
+                     snapshot_session, snapshot_station)
+
+
+class StreamingService:
+    """A live multi-tenant camera-analytics service on one virtual clock.
+
+    Args:
+        config: Service-wide bandwidths/latencies (defaults to the paper's).
+        num_edge_servers: Edge servers (each with compute + WAN uplink).
+        edge_workers: Parallel compute slots per edge server.
+        cloud_workers: Cloud tier slots (default: ``num_edge_servers``).
+        clock: Clock driver (default: :class:`VirtualClock`).
+        max_sessions: Service-wide concurrent session cap.
+        max_wan_queue_depth: WAN-queue admission/backpressure bound
+            (``None`` disables it).
+        tenants: Initial tenant policies (a ``"default"`` tenant is always
+            available).
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 num_edge_servers: int = 1, edge_workers: int = 1,
+                 cloud_workers: Optional[int] = None,
+                 clock: Optional[ClockDriver] = None,
+                 max_sessions: int = 64,
+                 max_wan_queue_depth: Optional[int] = None,
+                 tenants: Sequence[TenantPolicy] = ()) -> None:
+        if num_edge_servers < 1:
+            raise ServiceError("num_edge_servers must be >= 1")
+        if edge_workers < 1:
+            raise ServiceError("edge_workers must be >= 1")
+        self.config = config or SystemConfig()
+        self.num_edge_servers = int(num_edge_servers)
+        self.edge_workers = int(edge_workers)
+        self.cloud_workers = (int(cloud_workers) if cloud_workers is not None
+                              else self.num_edge_servers)
+        if self.cloud_workers < 1:
+            raise ServiceError("cloud_workers must be >= 1")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.scheduler = EventScheduler()
+        self.edge_stations: List[ServiceStation] = []
+        self.wan_links: List[ContendedLink] = []
+        for index in range(self.num_edge_servers):
+            self.edge_stations.append(ServiceStation(
+                self.scheduler, f"edge:{index}", capacity=self.edge_workers))
+            self.wan_links.append(ContendedLink(self.scheduler, NetworkLink(
+                name=f"edge-cloud:{index}",
+                bandwidth_mbps=self.config.edge_cloud_bandwidth_mbps,
+                latency_ms=self.config.edge_cloud_latency_ms)))
+        self.cloud_station = ServiceStation(self.scheduler, "cloud",
+                                            capacity=self.cloud_workers)
+        #: One camera uplink per session, keyed by session id (built lazily
+        #: on admission so per-tenant LAN sizing applies).
+        self.lan_links: Dict[str, ContendedLink] = {}
+        self.ingest = StreamIngest(
+            self.scheduler, self.num_edge_servers,
+            attach_session=self._attach_session,
+            submit_chunk=self._submit_chunk,
+            wan_queue_depth=lambda index: self.wan_links[index].queue_depth,
+            max_sessions=max_sessions,
+            max_wan_queue_depth=max_wan_queue_depth,
+            tenants=tenants)
+        #: Wall-clock seconds spent inside ``run`` so far.
+        self.wall_run_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Session API (delegated to the ingest front end)
+    # ------------------------------------------------------------------ #
+    def open_session(self, camera: str, tenant: str = "default",
+                     edge_index: Optional[int] = None) -> StreamSession:
+        """Admit a camera stream (see :meth:`StreamIngest.open_session`)."""
+        return self.ingest.open_session(camera, tenant=tenant,
+                                        edge_index=edge_index)
+
+    def push_frames(self, session_id: str, chunk: FrameChunk) -> None:
+        """Push a frame chunk (see :meth:`StreamIngest.push_frames`)."""
+        self.ingest.push_frames(session_id, chunk)
+
+    def close_session(self, session_id: str) -> StreamSession:
+        """Begin draining a session (see :meth:`StreamIngest.close_session`)."""
+        return self.ingest.close_session(session_id)
+
+    def retune_session(self, session_id: str, *,
+                       max_pending_chunks: int) -> StreamSession:
+        """Adjust a live session's backpressure bound without dropping it."""
+        return self.ingest.retune_session(
+            session_id, max_pending_chunks=max_pending_chunks)
+
+    def register_tenant(self, policy: TenantPolicy) -> None:
+        """Add or replace a tenant policy; existing sessions are untouched."""
+        self.ingest.register_tenant(policy)
+
+    # ------------------------------------------------------------------ #
+    # Control events and the event loop
+    # ------------------------------------------------------------------ #
+    def at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a control action at absolute virtual ``time``.
+
+        Feeders and reconfiguration scripts must use this (or
+        :meth:`after`) so their effects are ordered on the event heap —
+        that ordering is what makes a run reproducible under any clock.
+        """
+        self.scheduler.schedule_at(time, action)
+
+    def after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule a control action ``delay`` virtual seconds from now."""
+        self.scheduler.schedule(delay, action)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the service under its clock driver.
+
+        Returns the number of events fired.  With ``until`` the clock stops
+        at that virtual horizon (inclusive); without it the heap drains.
+        """
+        watch = Stopwatch().start()
+        try:
+            return self.clock.run(self.scheduler, until=until)
+        finally:
+            self.wall_run_seconds += watch.stop()
+
+    def run_for(self, seconds: float) -> int:
+        """Advance the service ``seconds`` of virtual time from now."""
+        if seconds < 0:
+            raise ServiceError(f"seconds must be >= 0, got {seconds}")
+        return self.run(until=self.scheduler.now + seconds)
+
+    def drain(self) -> int:
+        """Run until no events remain (all pushed work completes)."""
+        return self.run(until=None)
+
+    # ------------------------------------------------------------------ #
+    # Health / metrics
+    # ------------------------------------------------------------------ #
+    def status(self) -> ServiceStatus:
+        """Snapshot the service's live health and metrics."""
+        with section("service.status"):
+            horizon = self.scheduler.now
+            stations: List[StationSnapshot] = []
+            for index, station in enumerate(self.edge_stations):
+                stations.append(snapshot_station(station.name, station,
+                                                 horizon))
+                stations.append(snapshot_station(
+                    f"wan:{index}", self.wan_links[index], horizon))
+            stations.append(snapshot_station("cloud", self.cloud_station,
+                                             horizon))
+            sessions: List[SessionSnapshot] = []
+            for session in self.ingest.sessions.values():
+                lan = self.lan_links.get(session.session_id)
+                sessions.append(snapshot_session(
+                    session, lan.queue_depth if lan is not None else 0))
+            if isinstance(self.clock, RealTimeClock):
+                speedup = self.clock.speedup
+                max_lag = self.clock.max_lag_seconds
+            else:
+                speedup = float("inf")
+                max_lag = 0.0
+            return ServiceStatus(
+                virtual_now=horizon,
+                wall_run_seconds=self.wall_run_seconds,
+                clock=self.clock.describe(),
+                speedup=speedup,
+                clock_max_lag_seconds=max_lag,
+                events_processed=self.scheduler.events_processed,
+                pending_events=self.scheduler.pending_events,
+                active_sessions=self.ingest.active_sessions,
+                total_sessions=len(self.ingest.sessions),
+                sessions_rejected=self.ingest.sessions_rejected,
+                pushes_rejected=self.ingest.pushes_rejected,
+                tenants={name: self.ingest.active_sessions_of(name)
+                         for name in self.ingest.tenants},
+                stations=tuple(stations),
+                sessions=tuple(sessions),
+            )
+
+    def fleet_report(self) -> FleetReport:
+        """Fold the service's streams into a batch-comparable report.
+
+        Each session becomes one synthetic :class:`CameraJob` from its push
+        accumulators; outcomes span first push to last completion.  The
+        report satisfies the same :meth:`FleetReport.parity_mismatches`
+        contract as the batch orchestrator's, which is how the example and
+        the tests assert virtual-vs-real-time parity.
+        """
+        outcomes: List[JobOutcome] = []
+        assignments: Dict[str, int] = {}
+        latencies: List[float] = []
+        for session in self.ingest.sessions.values():
+            job = CameraJob(
+                camera=session.camera,
+                video=f"stream:{session.camera}",
+                num_frames=session.frames_pushed,
+                frames_for_inference=session.frames_for_inference,
+                edge_seconds=session.edge_seconds_pushed,
+                cloud_seconds=session.cloud_seconds_pushed,
+                camera_edge_bytes=session.camera_edge_bytes_pushed,
+                edge_cloud_bytes=session.edge_cloud_bytes_pushed,
+            )
+            start = (session.first_arrival
+                     if session.chunks_pushed > 0 else session.opened_at)
+            end = (session.last_completion
+                   if session.chunks_completed == session.chunks_pushed
+                   and session.chunks_pushed > 0 else float("nan"))
+            outcome = JobOutcome(job=job, edge_index=session.edge_index,
+                                 start_seconds=start, end_seconds=end)
+            outcomes.append(outcome)
+            assignments[session.camera] = session.edge_index
+            if end == end:  # not nan: the stream fully completed
+                latencies.append(outcome.latency_seconds)
+        makespan = max((outcome.end_seconds for outcome in outcomes
+                        if outcome.end_seconds == outcome.end_seconds),
+                       default=0.0)
+        edge_tiers = [tier_report(station.stats, station.capacity, makespan)
+                      for station in self.edge_stations]
+        wan_tiers = [tier_report(link.stats, 1, makespan)
+                     for link in self.wan_links]
+        cloud_tier = tier_report(self.cloud_station.stats,
+                                 self.cloud_station.capacity, makespan)
+        jobs = [outcome.job for outcome in outcomes]
+        return FleetReport(
+            policy=PlacementPolicy.ROUND_ROBIN,
+            num_edge_servers=self.num_edge_servers,
+            num_cameras=len(jobs),
+            makespan_seconds=makespan,
+            total_frames=sum(job.num_frames for job in jobs),
+            frames_for_inference=sum(job.frames_for_inference
+                                     for job in jobs),
+            camera_edge_bytes=sum(link.link.total_bytes
+                                  for link in self.lan_links.values()),
+            edge_cloud_bytes=sum(link.link.total_bytes
+                                 for link in self.wan_links),
+            edge_busy_seconds=sum(tier.busy_seconds for tier in edge_tiers),
+            cloud_busy_seconds=cloud_tier.busy_seconds,
+            wan_transfer_seconds=sum(link.link.total_seconds
+                                     for link in self.wan_links),
+            edge_tiers=edge_tiers,
+            wan_tiers=wan_tiers,
+            cloud_tier=cloud_tier,
+            latency_percentiles=latency_percentiles_of(sorted(latencies)),
+            assignments=assignments,
+            outcomes=outcomes,
+            sim_wall_seconds=self.wall_run_seconds,
+            events_processed=self.scheduler.events_processed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pipeline internals
+    # ------------------------------------------------------------------ #
+    def _attach_session(self, session: StreamSession) -> None:
+        """Build the session's camera uplink (tenant config wins)."""
+        policy = self.ingest.tenants.get(session.tenant)
+        config = (policy.config if policy is not None
+                  and policy.config is not None else self.config)
+        self.lan_links[session.session_id] = ContendedLink(
+            self.scheduler, NetworkLink(
+                name=f"camera:{session.camera}",
+                bandwidth_mbps=config.camera_edge_bandwidth_mbps,
+                latency_ms=config.camera_edge_latency_ms))
+
+    def _submit_chunk(self, session: StreamSession, chunk: FrameChunk) -> None:
+        """Chain one chunk through LAN -> edge -> WAN -> cloud."""
+        scheduler = self.scheduler
+        lan = self.lan_links[session.session_id]
+        edge = self.edge_stations[session.edge_index]
+        wan = self.wan_links[session.edge_index]
+        cloud = self.cloud_station
+        arrival = scheduler.now
+
+        def _finish(_: object) -> None:
+            self.ingest.on_chunk_complete(session, scheduler.now - arrival)
+
+        def _enter_cloud(_: object) -> None:
+            cloud.submit(chunk.cloud_seconds, on_complete=_finish)
+
+        def _enter_wan(_: object) -> None:
+            wan.submit(chunk.edge_cloud_bytes,
+                       description=f"stream:{session.camera}",
+                       on_complete=_enter_cloud)
+
+        def _enter_edge(_: object) -> None:
+            edge.submit(chunk.edge_seconds, on_complete=_enter_wan)
+
+        lan.submit(chunk.camera_edge_bytes,
+                   description=f"ingest:{session.camera}",
+                   on_complete=_enter_edge)
+
+
+# Re-exported for convenience so callers can build sessions without touching
+# the submodules (`from repro.service.service import ...` mirrors cluster).
+__all__ = [
+    "StreamingService", "SessionState", "TenantPolicy", "FrameChunk",
+]

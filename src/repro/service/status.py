@@ -1,0 +1,164 @@
+"""Live health snapshots of the streaming service.
+
+:meth:`StreamingService.status` folds the current state of every station,
+link and session into one immutable :class:`ServiceStatus` — the payload a
+``/healthz``-style endpoint would serve.  Two properties make it honest
+mid-run where the batch report only had to be honest post-drain:
+
+* utilisation uses :meth:`ServiceStation.busy_seconds_elapsed`, which
+  pro-rates jobs still in service at the snapshot instant, so a station
+  saturated since t=0 reads exactly 1.0 — never above — at any horizon cut;
+* latency percentiles come from
+  :func:`repro.cluster.fleet.latency_percentiles_of`, which yields ``nan``
+  (not a crash) while a session has no completions yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+from ..cluster.fleet import latency_percentiles_of
+from .session import SessionState
+
+
+@dataclass(frozen=True)
+class StationSnapshot:
+    """One station or link at the snapshot instant.
+
+    Attributes:
+        name: Station/link name (``edge:0``, ``wan:2``, ``cloud``, ...).
+        queue_depth: Jobs waiting for a worker right now.
+        in_service: Jobs occupying a worker right now.
+        busy_seconds: Busy time elapsed up to the snapshot (in-flight jobs
+            pro-rated — see ``ServiceStation.busy_seconds_elapsed``).
+        utilisation: ``busy / (capacity * elapsed horizon)``; in ``[0, 1]``.
+        completed: Jobs finished so far.
+    """
+
+    name: str
+    queue_depth: int
+    in_service: int
+    busy_seconds: float
+    utilisation: float
+    completed: int
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """One stream session at the snapshot instant.
+
+    Attributes:
+        session_id: Session identifier (camera name).
+        tenant: Owning tenant.
+        edge_index: Edge server the stream is placed on.
+        state: Lifecycle state value (``open``/``draining``/``closed``).
+        frames_pushed: Frames pushed so far.
+        chunks_pushed: Chunks accepted so far.
+        chunks_completed: Chunks finished so far.
+        in_flight: Chunks currently in the pipeline.
+        lan_queue_depth: Waiting transfers on the session's camera uplink.
+        latency_percentiles: ``{50/95/99: seconds}`` over completed chunks
+            (``nan`` before the first completion).
+    """
+
+    session_id: str
+    tenant: str
+    edge_index: int
+    state: str
+    frames_pushed: int
+    chunks_pushed: int
+    chunks_completed: int
+    in_flight: int
+    lan_queue_depth: int
+    latency_percentiles: Dict[int, float]
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """Full health/metrics snapshot of a :class:`StreamingService`.
+
+    Attributes:
+        virtual_now: Scheduler clock at the snapshot.
+        wall_run_seconds: Wall-clock seconds spent inside ``run`` so far.
+        clock: The clock driver's ``describe()`` string.
+        speedup: Real-time speedup factor (``inf`` for the virtual clock).
+        clock_max_lag_seconds: Worst wall-clock lateness of any event under
+            a real-time driver (``0`` for the virtual clock).
+        events_processed: Events fired so far.
+        pending_events: Events still queued.
+        active_sessions: Sessions open or draining.
+        total_sessions: Sessions ever admitted.
+        sessions_rejected: Admissions refused so far.
+        pushes_rejected: Frame pushes refused (backpressure) so far.
+        tenants: ``tenant name -> active session count``.
+        stations: Per-station snapshots (edges, WAN uplinks, cloud).
+        sessions: Per-session snapshots, in admission order.
+    """
+
+    virtual_now: float
+    wall_run_seconds: float
+    clock: str
+    speedup: float
+    clock_max_lag_seconds: float
+    events_processed: int
+    pending_events: int
+    active_sessions: int
+    total_sessions: int
+    sessions_rejected: int
+    pushes_rejected: int
+    tenants: Dict[str, int]
+    stations: Tuple[StationSnapshot, ...]
+    sessions: Tuple[SessionSnapshot, ...]
+
+    @property
+    def max_utilisation(self) -> float:
+        """Highest utilisation across all stations (``0`` when empty)."""
+        return max((station.utilisation for station in self.stations),
+                   default=0.0)
+
+    @property
+    def total_in_flight(self) -> int:
+        """Chunks currently inside the pipeline, across all sessions."""
+        return sum(session.in_flight for session in self.sessions)
+
+    def station(self, name: str) -> StationSnapshot:
+        """Look up one station snapshot by name."""
+        for snapshot in self.stations:
+            if snapshot.name == name:
+                return snapshot
+        raise KeyError(name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-serialisable modulo ``nan``)."""
+        return asdict(self)
+
+
+def snapshot_station(name: str, station, horizon: float) -> StationSnapshot:
+    """Snapshot a :class:`ServiceStation` (or anything with its surface)."""
+    now = station.scheduler.now if hasattr(station, "scheduler") else horizon
+    return StationSnapshot(
+        name=name,
+        queue_depth=station.queue_depth,
+        in_service=station.in_service,
+        busy_seconds=station.busy_seconds_elapsed(now),
+        utilisation=station.utilisation(horizon, now=now),
+        completed=station.stats.completed,
+    )
+
+
+def snapshot_session(session, lan_queue_depth: int) -> SessionSnapshot:
+    """Snapshot one :class:`~repro.service.session.StreamSession`."""
+    return SessionSnapshot(
+        session_id=session.session_id,
+        tenant=session.tenant,
+        edge_index=session.edge_index,
+        state=session.state.value if isinstance(session.state, SessionState)
+        else str(session.state),
+        frames_pushed=session.frames_pushed,
+        chunks_pushed=session.chunks_pushed,
+        chunks_completed=session.chunks_completed,
+        in_flight=session.in_flight,
+        lan_queue_depth=lan_queue_depth,
+        latency_percentiles=latency_percentiles_of(session.chunk_latencies),
+    )

@@ -28,9 +28,26 @@ def make_fleet_jobs(count=16):
 
 
 class TestValidation:
-    def test_empty_fleet_rejected(self):
-        with pytest.raises(ClusterError):
-            FleetOrchestrator([])
+    def test_empty_fleet_produces_well_formed_report(self):
+        # Regression: report assembly used to crash on an empty fleet
+        # (np.percentile over an empty latency list) — an admission layer
+        # that rejects every camera must still get a usable report back.
+        for workers in (1, 2):
+            report = FleetOrchestrator(
+                [], num_edge_servers=2, fleet_workers=workers).run()
+            assert report.num_cameras == 0
+            assert report.makespan_seconds == 0.0
+            assert report.aggregate_throughput_fps == 0.0
+            assert report.total_frames == 0
+            assert report.outcomes == []
+            assert report.assignments == {}
+            assert len(report.edge_tiers) == 2
+            assert all(math.isnan(value)
+                       for value in report.latency_percentiles.values())
+            assert report.cloud_tier.completed == 0
+            row = report.as_dict()  # the flat view stays well-formed too
+            assert row["num_cameras"] == 0.0
+            assert report.parity_mismatches(report) == []
 
     def test_duplicate_camera_names_rejected(self):
         with pytest.raises(ClusterError):

@@ -244,8 +244,8 @@ class TestValidation:
             SystemConfig(fleet_workers=-1)
 
     def test_zero_fleet_workers_means_auto(self):
-        import os
-        expected = max(os.cpu_count() or 1, 1)
+        from repro.config import available_cpu_count
+        expected = available_cpu_count()
         assert SystemConfig(fleet_workers=0).fleet_workers == expected
         orchestrator = FleetOrchestrator(make_jobs(2), fleet_workers=0)
         assert orchestrator.fleet_workers == expected

@@ -178,8 +178,8 @@ class TestDegradationPaths:
             SystemConfig(build_workers=-1)
 
     def test_zero_workers_means_auto(self):
-        import os
-        expected = max(os.cpu_count() or 1, 1)
+        from repro.config import available_cpu_count
+        expected = available_cpu_count()
         assert WorkloadBuilder(QUICK, build_workers=0).build_workers == expected
         assert SystemConfig(build_workers=0).build_workers == expected
 

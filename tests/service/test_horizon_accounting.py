@@ -1,0 +1,159 @@
+"""Horizon semantics of ``run(until=...)`` and mid-service busy accounting.
+
+Two regressions are pinned here:
+
+* ``EventScheduler.run(until=...)`` boundary semantics — an event exactly
+  at the horizon fires, later events stay queued, the clock advances to
+  the horizon, and a later ``run()`` resumes cleanly.
+* ``ServiceStation`` used to charge ``busy_seconds`` when a job *started*
+  service, so a run cut off at a horizon counted unfinished service as
+  consumed and mid-run utilisation could exceed 1.0.  Busy time now
+  accrues at completion, with :meth:`busy_seconds_elapsed` pro-rating
+  in-flight jobs for live snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.scheduler import EventScheduler, ServiceStation
+from repro.errors import DataflowError
+from repro.net.contention import ContendedLink
+from repro.net.link import NetworkLink
+
+
+class TestRunUntilBoundary:
+    def test_event_exactly_at_horizon_fires(self):
+        scheduler = EventScheduler()
+        fired = []
+        for time in (1.0, 2.0, 2.0, 3.0):
+            scheduler.schedule_at(time, lambda t=time: fired.append(t))
+        assert scheduler.run(until=2.0) == 3
+        assert fired == [1.0, 2.0, 2.0]
+
+    def test_later_events_stay_queued_and_clock_advances(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, lambda: None)
+        assert scheduler.run(until=3.0) == 0
+        assert scheduler.now == 3.0
+        assert scheduler.pending_events == 1
+
+    def test_clock_advances_to_horizon_on_empty_heap(self):
+        scheduler = EventScheduler()
+        scheduler.run(until=7.5)
+        assert scheduler.now == 7.5
+        assert scheduler.pending_events == 0
+
+    def test_subsequent_run_resumes(self):
+        scheduler = EventScheduler()
+        fired = []
+        for time in (1.0, 4.0, 6.0):
+            scheduler.schedule_at(time, lambda t=time: fired.append(t))
+        scheduler.run(until=2.0)
+        assert fired == [1.0]
+        assert scheduler.run() == 2
+        assert fired == [1.0, 4.0, 6.0]
+        assert scheduler.now == 6.0
+
+    def test_horizon_in_the_past_is_a_no_op_for_the_clock(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.run(until=2.0)
+        assert scheduler.run(until=1.0) == 0
+        assert scheduler.now == 2.0
+
+
+class TestAdvanceTo:
+    def test_rejects_past_target(self):
+        scheduler = EventScheduler()
+        scheduler.run(until=5.0)
+        with pytest.raises(DataflowError):
+            scheduler.advance_to(4.0)
+
+    def test_rejects_skipping_pending_events(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(2.0, lambda: None)
+        with pytest.raises(DataflowError):
+            scheduler.advance_to(3.0)
+
+    def test_advances_to_exact_event_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.advance_to(2.0)
+        assert scheduler.now == 2.0
+        assert scheduler.pending_events == 1  # the event has not fired
+
+
+class TestMidServiceBusyAccounting:
+    def test_horizon_cut_does_not_charge_unfinished_service(self):
+        scheduler = EventScheduler()
+        station = ServiceStation(scheduler, "edge", capacity=1)
+        station.submit(10.0)
+        scheduler.run(until=4.0)
+        # The regression: busy_seconds used to read 10.0 here (charged at
+        # start), making utilisation over the 4 s horizon read 2.5.
+        assert station.stats.busy_seconds == 0.0
+        assert station.busy_seconds_elapsed(4.0) == pytest.approx(4.0)
+        assert station.utilisation(4.0, now=4.0) == pytest.approx(1.0)
+        assert station.utilisation(4.0) == 0.0  # completed-only view
+        scheduler.run()
+        assert station.stats.busy_seconds == pytest.approx(10.0)
+        assert station.utilisation(10.0) == pytest.approx(1.0)
+
+    def test_utilisation_never_exceeds_one_during_service(self):
+        scheduler = EventScheduler()
+        station = ServiceStation(scheduler, "edge", capacity=1)
+        for _ in range(3):
+            station.submit(2.0)
+        for horizon in (0.5, 1.0, 2.5, 3.0, 5.5, 6.0):
+            scheduler.run(until=horizon)
+            utilisation = station.utilisation(horizon, now=horizon)
+            assert 0.0 <= utilisation <= 1.0 + 1e-12, horizon
+
+    def test_multi_worker_pro_rating(self):
+        scheduler = EventScheduler()
+        station = ServiceStation(scheduler, "cloud", capacity=2)
+        station.submit(6.0)
+        station.submit(6.0)
+        station.submit(6.0)  # queued behind the first two
+        scheduler.run(until=3.0)
+        # Two workers half-way through their jobs: 3 s each.
+        assert station.busy_seconds_elapsed(3.0) == pytest.approx(6.0)
+        assert station.utilisation(3.0, now=3.0) == pytest.approx(1.0)
+        scheduler.run(until=8.0)
+        # First two completed (12 s) + third 2 s into service.
+        assert station.stats.busy_seconds == pytest.approx(12.0)
+        assert station.busy_seconds_elapsed(8.0) == pytest.approx(14.0)
+        assert station.utilisation(8.0, now=8.0) == pytest.approx(14.0 / 16.0)
+
+    def test_elapsed_caps_at_service_time(self):
+        scheduler = EventScheduler()
+        station = ServiceStation(scheduler, "edge")
+        station.submit(2.0)
+        scheduler.run(until=1.0)
+        # A query beyond the job's own end never over-counts it.
+        assert station.busy_seconds_elapsed(100.0) == pytest.approx(2.0)
+
+    def test_drained_totals_are_unchanged_by_the_fix(self):
+        scheduler = EventScheduler()
+        station = ServiceStation(scheduler, "edge", capacity=2)
+        for seconds in (1.0, 2.0, 3.0, 4.0):
+            station.submit(seconds)
+        scheduler.run()
+        assert station.stats.busy_seconds == pytest.approx(10.0)
+        assert station.stats.completed == 4
+        assert station.busy_seconds_elapsed() == pytest.approx(10.0)
+
+    def test_contended_link_pro_rates_in_flight_transfer(self):
+        scheduler = EventScheduler()
+        # 8 Mbps, no latency: a 10-megabyte payload takes 10 s to transfer.
+        link = ContendedLink(scheduler, NetworkLink(
+            name="wan", bandwidth_mbps=8.0, latency_ms=0.0))
+        link.submit(10_000_000)
+        scheduler.run(until=4.0)
+        assert link.stats.busy_seconds == 0.0
+        assert link.in_service == 1
+        assert link.busy_seconds_elapsed(4.0) == pytest.approx(4.0)
+        assert link.utilisation(4.0, now=4.0) == pytest.approx(1.0)
+        scheduler.run()
+        assert link.stats.busy_seconds == pytest.approx(10.0)

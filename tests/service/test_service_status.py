@@ -1,0 +1,112 @@
+"""Live ServiceStatus snapshots: bounded utilisation, honest counters."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service import (FrameChunk, RealTimeClock, StreamingService,
+                           TenantPolicy)
+
+CHUNK = FrameChunk(num_frames=30, frames_for_inference=3,
+                   edge_seconds=0.5, cloud_seconds=0.1,
+                   camera_edge_bytes=2_000_000, edge_cloud_bytes=200_000)
+
+
+def test_empty_service_snapshot_is_well_formed():
+    service = StreamingService(num_edge_servers=2)
+    status = service.status()
+    assert status.virtual_now == 0.0
+    assert status.active_sessions == status.total_sessions == 0
+    assert status.pending_events == 0
+    assert status.max_utilisation == 0.0
+    assert status.total_in_flight == 0
+    # 2 edges + 2 WAN uplinks + cloud.
+    assert [station.name for station in status.stations] == [
+        "edge:0", "wan:0", "edge:1", "wan:1", "cloud"]
+    assert status.tenants == {"default": 0}
+    assert status.clock == "virtual"
+    assert status.speedup == float("inf")
+    assert status.as_dict()["active_sessions"] == 0
+
+
+def test_utilisation_bounded_at_every_horizon_cut():
+    service = StreamingService(num_edge_servers=1)
+    service.open_session("a")
+    service.open_session("b")
+    for _ in range(4):
+        service.push_frames("a", CHUNK)
+        service.push_frames("b", CHUNK)
+    horizon = 0.0
+    while service.scheduler.pending_events:
+        horizon += 0.3
+        service.run(until=horizon)
+        status = service.status()
+        for station in status.stations:
+            assert 0.0 <= station.utilisation <= 1.0 + 1e-12, (
+                f"{station.name} at t={horizon}: {station.utilisation}")
+        assert status.max_utilisation <= 1.0 + 1e-12
+
+
+def test_mid_service_cut_reports_saturated_edge_exactly():
+    service = StreamingService(num_edge_servers=1)
+    service.open_session("a")
+    service.push_frames("a", FrameChunk(
+        num_frames=10, frames_for_inference=1, edge_seconds=100.0,
+        cloud_seconds=0.0, camera_edge_bytes=0, edge_cloud_bytes=0))
+    service.run_for(50.0)
+    edge = service.status().station("edge:0")
+    assert edge.in_service == 1
+    # Busy since ~t=0.005 (LAN latency); pro-rated busy over the 50 s
+    # horizon is just under 1.0 — and no longer the 2.0 the start-charging
+    # bug produced.
+    assert 0.9 < edge.utilisation <= 1.0
+
+
+def test_session_snapshots_track_progress_and_latency():
+    service = StreamingService(
+        num_edge_servers=1,
+        tenants=(TenantPolicy(name="t", max_sessions=4),))
+    service.open_session("a", tenant="t")
+    service.push_frames("a", CHUNK)
+    service.push_frames("a", CHUNK)
+    status = service.status()
+    (snapshot,) = status.sessions
+    assert snapshot.session_id == "a"
+    assert snapshot.tenant == "t"
+    assert snapshot.state == "open"
+    assert snapshot.in_flight == 2
+    assert snapshot.chunks_completed == 0
+    assert math.isnan(snapshot.latency_percentiles[50])  # no completions yet
+    assert status.tenants == {"default": 0, "t": 1}
+    service.drain()
+    (snapshot,) = service.status().sessions
+    assert snapshot.in_flight == 0
+    assert snapshot.chunks_completed == 2
+    assert snapshot.latency_percentiles[50] > 0.0
+
+
+def test_counters_and_clock_fields_under_real_time():
+    clock = RealTimeClock(speedup=1e9)
+    service = StreamingService(num_edge_servers=1, clock=clock,
+                               max_sessions=1)
+    service.open_session("a")
+    with pytest.raises(AdmissionError):
+        service.open_session("b")
+    service.push_frames("a", CHUNK)
+    service.drain()
+    status = service.status()
+    assert status.sessions_rejected == 1
+    assert status.clock.startswith("real-time")
+    assert status.speedup == 1e9
+    assert status.clock_max_lag_seconds >= 0.0
+    assert status.events_processed == service.scheduler.events_processed
+    assert status.wall_run_seconds > 0.0
+
+
+def test_station_lookup_raises_on_unknown_name():
+    service = StreamingService()
+    with pytest.raises(KeyError):
+        service.status().station("edge:99")
