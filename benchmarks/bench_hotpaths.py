@@ -278,6 +278,60 @@ class TestPrecisionFastPaths:
                                                       fast_field.block_sad)
 
 
+class TestFaultPlaneOverhead:
+    """The fault-injection hooks must be free when no plan is installed.
+
+    Runs the same fed streaming workload twice — once on the hookless
+    seed path, once with an (empty) ``FaultPlan`` so the fault driver and
+    every injection hook is installed but idle — and records the ratio as
+    the gated ``faults.recovery_overhead`` entry (~1.0x).  A hook that
+    starts costing real time on the fault-free path fails the perf gate
+    even though every correctness test still passes.
+    """
+
+    NUM_CAMERAS = 8
+    NUM_CHUNKS = 4
+
+    def _run_service(self, with_hooks: bool):
+        from repro.faults import FaultPlan
+        from repro.service import ChunkFeeder, FrameChunk, StreamingService
+
+        service = StreamingService(
+            num_edge_servers=2,
+            faults=FaultPlan() if with_hooks else None)
+        chunks = [FrameChunk(num_frames=30, frames_for_inference=3,
+                             edge_seconds=0.05, cloud_seconds=0.02,
+                             camera_edge_bytes=500_000,
+                             edge_cloud_bytes=60_000)
+                  for _ in range(self.NUM_CHUNKS)]
+        for index in range(self.NUM_CAMERAS):
+            camera = f"bench-cam{index}"
+            service.open_session(camera)
+            ChunkFeeder(service, camera, list(chunks),
+                        period_seconds=0.2).start(at=0.01 * index)
+        service.drain()
+        return service
+
+    def test_idle_hooks_are_free(self, benchmark, hotpaths_report):
+        plain = self._run_service(with_hooks=False)
+        hooked = self._run_service(with_hooks=True)
+        # The empty plan must not change the simulation at all.
+        assert plain.fleet_report().parity_mismatches(
+            hooked.fleet_report(), 1e-6) == []
+        assert hooked.fleet_report().faults is None
+        no_hooks = min_time(lambda: self._run_service(with_hooks=False),
+                            repeats=3)
+        with_hooks = min_time(lambda: self._run_service(with_hooks=True),
+                              repeats=3)
+        entry = hotpaths_report.record_speedup(
+            "faults.recovery_overhead", no_hooks, with_hooks,
+            cameras=self.NUM_CAMERAS, chunks=self.NUM_CHUNKS)
+        benchmark(self._run_service, True)
+        # ~1.0 is the result; only sanity is asserted (the perf gate
+        # compares the recorded ratio across runs).
+        assert entry.value > 0
+
+
 class TestSchedulerEventLoop:
     NUM_JOBS = 20_000
 

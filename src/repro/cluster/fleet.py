@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import SystemConfig, resolve_worker_count
 from ..dataflow.scheduler import EventScheduler, ServiceStation
 from ..errors import ClusterError, ConfigurationError
+from ..faults.injector import FleetFaultDriver
+from ..faults.plan import FaultPlan
+from ..faults.stats import FaultStats
 from ..net.contention import ContendedLink
 from ..net.link import NetworkLink
 from ..perf import Stopwatch
@@ -147,6 +150,21 @@ class JobOutcome:
         return self.end_seconds - self.start_seconds
 
 
+class _JobRun:
+    """Pipeline position of one in-flight camera job.
+
+    Carried as the station/link payload so the fault driver can requeue
+    a failed stage (``reenter[stage]``) on the job's current edge.
+    """
+
+    __slots__ = ("outcome", "stage", "reenter")
+
+    def __init__(self, outcome: JobOutcome) -> None:
+        self.outcome = outcome
+        self.stage = "lan"
+        self.reenter: Dict[str, Callable] = {}
+
+
 @dataclass
 class TierReport:
     """Utilisation and queueing of one fleet tier (or one station).
@@ -190,6 +208,9 @@ class FleetReport:
         sim_wall_seconds: Real wall-clock time the simulation itself took
             (perf instrumentation; ``0`` for reports built by hand).
         events_processed: Discrete events fired during the simulation.
+        faults: Fault/recovery counters, present only when a fault plan
+            actually did something (``None`` on every fault-free run, so
+            clean reports stay bit-identical to the seed's).
     """
 
     policy: PlacementPolicy
@@ -211,6 +232,7 @@ class FleetReport:
     outcomes: List[JobOutcome] = field(default_factory=list)
     sim_wall_seconds: float = 0.0
     events_processed: int = 0
+    faults: Optional[FaultStats] = None
 
     @property
     def events_per_second(self) -> float:
@@ -321,6 +343,13 @@ class FleetReport:
                         f"({outcome_a.start_seconds}, {outcome_a.end_seconds})"
                         f" != ({outcome_b.start_seconds}, "
                         f"{outcome_b.end_seconds})")
+        # Fault/recovery counters are part of the parity contract too: a
+        # report without them is an empty counter block, so fault-free
+        # runs compare clean against each other.
+        mine_faults = self.faults if self.faults is not None else FaultStats()
+        their_faults = (other.faults if other.faults is not None
+                        else FaultStats())
+        mismatches.extend(mine_faults.mismatches(their_faults))
         return mismatches
 
 
@@ -350,6 +379,14 @@ class FleetOrchestrator:
             single-process event loop; larger values shard the per-edge
             pipelines across a process pool (see :mod:`repro.parallel`)
             and produce the same report.
+        faults: Optional :class:`~repro.faults.FaultPlan` injected into
+            the run (edge crashes fail unfinished jobs over to healthy
+            edges; WAN windows degrade uplinks).  ``None`` — the default
+            everywhere — schedules nothing and leaves the event sequence
+            bit-identical to the seed.  Scheduler-injected faults force
+            the single-process reference loop (failover moves work across
+            edges, which the per-edge decomposition cannot express);
+            worker kills are honoured by the multiprocess path.
     """
 
     def __init__(self, jobs: Sequence[CameraJob], num_edge_servers: int = 1,
@@ -358,7 +395,8 @@ class FleetOrchestrator:
                  edge_workers: int = 1, cloud_workers: Optional[int] = None,
                  arrival_jitter_seconds: float = 0.0,
                  seed: Optional[int] = None,
-                 fleet_workers: Optional[int] = None) -> None:
+                 fleet_workers: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         # An empty job list is legal: admission control may reject every
         # camera, and the orchestrator must still produce a well-formed
         # (all-zero, nan-percentile) report rather than crash downstream.
@@ -382,6 +420,9 @@ class FleetOrchestrator:
             raise ClusterError("cloud_workers must be >= 1")
         self.arrival_jitter_seconds = float(arrival_jitter_seconds)
         self.seed = seed
+        self.fault_plan = faults
+        if faults is not None:
+            faults.validate_for(self.num_edge_servers)
         try:
             self.fleet_workers = resolve_worker_count(
                 int(fleet_workers if fleet_workers is not None
@@ -439,7 +480,9 @@ class FleetOrchestrator:
         :func:`repro.parallel.run_parallel`); the report is the same either
         way, the single-process path below remains the reference.
         """
-        if self.fleet_workers > 1:
+        if self.fleet_workers > 1 and (
+                self.fault_plan is None
+                or not self.fault_plan.has_scheduler_faults):
             from ..parallel import run_parallel
             return run_parallel(self, self.fleet_workers)
         return self._run_single_process()
@@ -464,6 +507,12 @@ class FleetOrchestrator:
                 latency_ms=self.config.edge_cloud_latency_ms)))
         cloud_station = ServiceStation(scheduler, "cloud",
                                        capacity=self.cloud_workers)
+        driver: Optional[FleetFaultDriver] = None
+        if (self.fault_plan is not None
+                and self.fault_plan.has_scheduler_faults):
+            driver = FleetFaultDriver(scheduler, self.fault_plan,
+                                      self.num_edge_servers, lan_links,
+                                      edge_stations, wan_links)
 
         assignments = self.assign()
         offsets = self._arrival_offsets()
@@ -473,11 +522,16 @@ class FleetOrchestrator:
             outcome = JobOutcome(job=job, edge_index=edge_index,
                                  start_seconds=offset)
             outcomes.append(outcome)
-            self._submit_job(scheduler, outcome, lan_links[edge_index],
-                             edge_stations[edge_index], wan_links[edge_index],
-                             cloud_station)
+            self._submit_job(scheduler, outcome, lan_links, edge_stations,
+                             wan_links, cloud_station, driver)
         scheduler.run()
 
+        # Report the placements jobs actually ran under: failover rewrites
+        # ``outcome.edge_index`` mid-run, and the report must account every
+        # failed-over job at its final edge.  Fault-free this rebuilds the
+        # planner's dict verbatim (outcomes follow job order).
+        assignments = {outcome.job.camera: outcome.edge_index
+                       for outcome in outcomes}
         makespan = max((outcome.end_seconds for outcome in outcomes),
                        default=0.0)
         latencies = sorted(outcome.latency_seconds for outcome in outcomes)
@@ -509,32 +563,61 @@ class FleetOrchestrator:
             outcomes=outcomes,
             sim_wall_seconds=watch.stop(),
             events_processed=scheduler.events_processed,
+            faults=(driver.stats if driver is not None
+                    and driver.stats.has_activity() else None),
         )
 
     def _submit_job(self, scheduler: EventScheduler, outcome: JobOutcome,
-                    lan: ContendedLink, edge: ServiceStation,
-                    wan: ContendedLink, cloud: ServiceStation) -> None:
+                    lan_links: Sequence[ContendedLink],
+                    edge_stations: Sequence[ServiceStation],
+                    wan_links: Sequence[ContendedLink],
+                    cloud: ServiceStation,
+                    driver: "Optional[FleetFaultDriver]" = None) -> None:
+        """Chain one job through LAN -> edge -> WAN -> cloud.
+
+        Every stage entry indexes the per-edge resources through
+        ``outcome.edge_index`` *at fire time*, so a job failed over by
+        the fault driver (which rewrites the outcome's edge) lands on
+        its new edge — whether the stage is a requeue of failed work or
+        an ingest that had not even started when the edge died.
+        Fault-free this makes exactly the same submissions in the same
+        order as always.
+        """
         job = outcome.job
+        run = _JobRun(outcome)
+        on_fail = driver.on_job_failed if driver is not None else None
+        if driver is not None:
+            driver.register(run)
 
         def _finish(_: object) -> None:
             outcome.end_seconds = scheduler.now
 
         def _enter_cloud(_: object) -> None:
+            run.stage = "cloud"
             cloud.submit(job.cloud_seconds, on_complete=_finish)
 
         def _enter_wan(_: object) -> None:
-            wan.submit(job.edge_cloud_bytes,
-                       description=job.transfer_description or job.camera,
-                       on_complete=_enter_cloud)
+            run.stage = "wan"
+            wan_links[outcome.edge_index].submit(
+                job.edge_cloud_bytes,
+                description=job.transfer_description or job.camera,
+                on_complete=_enter_cloud, payload=run, on_fail=on_fail)
 
         def _enter_edge(_: object) -> None:
-            edge.submit(job.edge_seconds, on_complete=_enter_wan)
+            run.stage = "edge"
+            edge_stations[outcome.edge_index].submit(
+                job.edge_seconds, on_complete=_enter_wan, payload=run,
+                on_fail=on_fail)
 
-        def _ingest() -> None:
-            lan.submit(job.camera_edge_bytes,
-                       description=f"ingest:{job.camera}",
-                       on_complete=_enter_edge)
+        def _ingest(_: object = None) -> None:
+            run.stage = "lan"
+            lan_links[outcome.edge_index].submit(
+                job.camera_edge_bytes,
+                description=f"ingest:{job.camera}",
+                on_complete=_enter_edge, payload=run, on_fail=on_fail)
 
+        run.reenter = {"lan": _ingest, "edge": _enter_edge,
+                       "wan": _enter_wan, "cloud": _enter_cloud}
         scheduler.schedule_at(outcome.start_seconds, _ingest)
 
     # Kept as a method alias so the multiprocess merge and subclasses keep

@@ -171,6 +171,10 @@ class _StationJob:
     payload: Any
     on_start: Optional[Callable[[Any], None]] = None
     started_at: float = 0.0
+    on_fail: Optional[Callable[[Any, str], None]] = None
+    # Set by fail_all on in-service jobs: their already-scheduled
+    # completion events fire as no-ops.
+    cancelled: bool = False
 
 
 class ServiceStation:
@@ -193,6 +197,7 @@ class ServiceStation:
         self._queue: Deque[_StationJob] = deque()
         self._active: List[_StationJob] = []
         self._in_service = 0
+        self._online = True
 
     @property
     def queue_depth(self) -> int:
@@ -204,10 +209,16 @@ class ServiceStation:
         """Jobs currently occupying a worker."""
         return self._in_service
 
+    @property
+    def online(self) -> bool:
+        """Whether the station is dispatching (see :meth:`pause`)."""
+        return self._online
+
     def submit(self, service_seconds: float,
                on_complete: Optional[Callable[[Any], None]] = None,
                payload: Any = None,
-               on_start: Optional[Callable[[Any], None]] = None) -> None:
+               on_start: Optional[Callable[[Any], None]] = None,
+               on_fail: Optional[Callable[[Any, str], None]] = None) -> None:
         """Enqueue a job taking ``service_seconds`` of worker time.
 
         ``on_start(payload)`` fires the moment the job leaves the queue and
@@ -215,17 +226,60 @@ class ServiceStation:
         scheduled) — which is the insertion-order key for simultaneous
         completions, used by the multiprocess decomposition to reproduce
         the single-scheduler tie-breaking.
+
+        ``on_fail(payload, reason)`` fires only if the job is failed out
+        by :meth:`fail_all` (the fault-injection plane); jobs submitted
+        without it are silently dropped on failure.
         """
         if service_seconds < 0:
             raise DataflowError(
                 f"service time must be >= 0, got {service_seconds}")
         self.stats.arrivals += 1
         self._queue.append(_StationJob(float(service_seconds), on_complete,
-                                       payload, on_start))
+                                       payload, on_start, on_fail=on_fail))
         self._try_start()
 
+    def pause(self) -> None:
+        """Stop dispatching queued jobs (fault-injection hook).
+
+        In-service jobs run to completion; new and queued jobs wait until
+        :meth:`resume`.  Pausing an already-paused station is a no-op.
+        """
+        self._online = False
+
+    def resume(self) -> None:
+        """Resume dispatching after :meth:`pause`."""
+        self._online = True
+        self._try_start()
+
+    def fail_all(self, reason: str = "fault") -> int:
+        """Fail every queued and in-service job (fault-injection hook).
+
+        In-service jobs are cancelled — their already-scheduled completion
+        events fire as no-ops and their service time is *not* accrued (the
+        work was lost, not done).  Each failed job's ``on_fail(payload,
+        reason)`` then fires in deterministic order: in-service jobs in
+        start order, then the queue in FIFO order.  A resubmitted job
+        counts as a fresh arrival.
+
+        Returns:
+            The number of jobs failed.
+        """
+        failed: List[_StationJob] = []
+        for job in self._active:
+            job.cancelled = True
+            failed.append(job)
+        self._active.clear()
+        self._in_service = 0
+        failed.extend(self._queue)
+        self._queue.clear()
+        for job in failed:
+            if job.on_fail is not None:
+                job.on_fail(job.payload, reason)
+        return len(failed)
+
     def _try_start(self) -> None:
-        while self._queue and self._in_service < self.capacity:
+        while self._online and self._queue and self._in_service < self.capacity:
             job = self._queue.popleft()
             self._in_service += 1
             job.started_at = self.scheduler.now
@@ -239,6 +293,10 @@ class ServiceStation:
                                          len(self._queue))
 
     def _finish(self, job: _StationJob) -> None:
+        if job.cancelled:
+            # The worker serving this job was failed out from under it by
+            # fail_all; its completion event is a husk.
+            return
         self._in_service -= 1
         self._active.remove(job)
         # Busy time accrues at completion, never at dispatch: a run cut off

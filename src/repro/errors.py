@@ -64,8 +64,23 @@ class ServiceError(SieveError):
     """Raised by the real-time streaming service layer."""
 
 
+class FaultError(SieveError):
+    """Raised by the fault-injection plane for invalid plans or misuse."""
+
+
 class AdmissionError(ServiceError):
-    """Raised when a new stream session is refused admission."""
+    """Raised when a new stream session is refused admission.
+
+    Attributes:
+        sheddable: Whether the refusal is a capacity overload that a
+            degraded tenant tier could absorb (tenant quota exhausted),
+            as opposed to a hard refusal (duplicate camera, unknown
+            tenant, bad edge index, saturated WAN, service full).
+    """
+
+    def __init__(self, message: str, *, sheddable: bool = False) -> None:
+        super().__init__(message)
+        self.sheddable = sheddable
 
 
 class BackpressureError(ServiceError):

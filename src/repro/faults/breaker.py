@@ -1,0 +1,102 @@
+"""Per-edge circuit breakers.
+
+A :class:`CircuitBreaker` guards one edge server: after
+``failure_threshold`` *consecutive* failures it opens and sheds load
+(pushes bounce as backpressure instead of queueing onto a sick edge);
+after ``cooldown_seconds`` it half-opens and admits exactly one probe.
+A success closes it, a failure re-opens it and restarts the cooldown.
+
+Time is whatever clock the caller passes in (virtual seconds here), so
+breaker transitions are part of the deterministic event sequence and
+show up identically in same-seed recovery traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from ..errors import FaultError
+
+
+class BreakerState(enum.Enum):
+    """The classic three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probes.
+
+    Attributes:
+        state: Current :class:`BreakerState`.
+        consecutive_failures: Failures since the last success.
+        opened_at: Time of the most recent open (``nan`` before any).
+        opens: CLOSED/HALF_OPEN -> OPEN transitions seen.
+    """
+
+    def __init__(self, name: str = "", failure_threshold: int = 3,
+                 cooldown_seconds: float = 5.0,
+                 on_open: Optional[Callable[[], None]] = None) -> None:
+        if failure_threshold < 1:
+            raise FaultError("failure_threshold must be >= 1")
+        if cooldown_seconds <= 0.0:
+            raise FaultError("cooldown_seconds must be > 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = float("nan")
+        self.opens = 0
+        self._on_open = on_open
+        self._probe_in_flight = False
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may proceed at ``now``.
+
+        An OPEN breaker past its cooldown half-opens and admits exactly
+        one probe; further requests bounce until the probe settles.
+        Callers must only invoke this when the request will actually be
+        issued on ``True`` (the probe slot is claimed by this call).
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at < self.cooldown_seconds:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self, now: float = 0.0) -> None:
+        """A request succeeded: close and reset."""
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self, now: float) -> None:
+        """A request failed; may trip the breaker."""
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            self.trip(now)
+
+    def trip(self, now: float) -> None:
+        """Force the breaker open (e.g. the edge is known dead).
+
+        Re-tripping an already-open breaker restarts its cooldown but
+        does not count another open.
+        """
+        if self.state is not BreakerState.OPEN:
+            self.opens += 1
+            if self._on_open is not None:
+                self._on_open()
+        self.state = BreakerState.OPEN
+        self.opened_at = now
+        self._probe_in_flight = False

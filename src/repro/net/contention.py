@@ -38,6 +38,7 @@ class ContendedLink:
         self.link = link
         self._station = ServiceStation(scheduler, f"link:{link.name}",
                                        capacity=channels)
+        self._slowdown = 1.0
 
     @property
     def stats(self) -> StationStats:
@@ -54,18 +55,63 @@ class ContendedLink:
         """Transfers currently occupying the link."""
         return self._station.in_service
 
+    @property
+    def online(self) -> bool:
+        """Whether the link is carrying transfers (see :meth:`pause`)."""
+        return self._station.online
+
+    @property
+    def slowdown(self) -> float:
+        """Current degradation factor (1.0 = full bandwidth)."""
+        return self._slowdown
+
+    def pause(self) -> None:
+        """Partition the link (fault-injection hook): in-flight transfers
+        complete, queued and new transfers wait for :meth:`resume`."""
+        self._station.pause()
+
+    def resume(self) -> None:
+        """Lift a partition started by :meth:`pause`."""
+        self._station.resume()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Stretch transfer times of *subsequently submitted* transfers.
+
+        ``factor`` >= 1.0 models degraded bandwidth (a factor of 2 halves
+        the effective rate); 1.0 restores full speed.  At exactly 1.0 the
+        duration arithmetic is skipped entirely, so the fault-free path
+        produces bit-identical floats.
+        """
+        if factor < 1.0:
+            raise NetworkError(f"slowdown factor must be >= 1.0, got {factor}")
+        self._slowdown = float(factor)
+
+    def fail_all(self, reason: str = "fault") -> int:
+        """Fail every queued and in-flight transfer (fault-injection hook).
+
+        Failed transfers never reach the underlying link, so no bytes are
+        recorded for them — lost traffic is lost.  Returns the number of
+        transfers failed; their ``on_fail`` callbacks fire in order (see
+        :meth:`ServiceStation.fail_all`).
+        """
+        return self._station.fail_all(reason)
+
     def submit(self, size_bytes: int, description: str = "",
                on_complete: Optional[Callable[[Any], None]] = None,
                payload: Any = None,
-               on_start: Optional[Callable[[Any], None]] = None) -> None:
+               on_start: Optional[Callable[[Any], None]] = None,
+               on_fail: Optional[Callable[[Any, str], None]] = None) -> None:
         """Queue a transfer; ``on_complete(payload)`` fires on delivery.
 
         ``on_start(payload)`` fires when the transfer actually occupies the
-        link (after any queueing).
+        link (after any queueing).  ``on_fail(payload, reason)`` fires only
+        if the transfer is failed out by :meth:`fail_all`.
         """
         if size_bytes < 0:
             raise NetworkError("size_bytes must be >= 0")
         duration = self.link.transfer_seconds(size_bytes)
+        if self._slowdown != 1.0:
+            duration *= self._slowdown
 
         def _deliver(delivered: Any) -> None:
             self.link.transfer(size_bytes, description)
@@ -73,7 +119,7 @@ class ContendedLink:
                 on_complete(delivered)
 
         self._station.submit(duration, on_complete=_deliver, payload=payload,
-                             on_start=on_start)
+                             on_start=on_start, on_fail=on_fail)
 
     def busy_seconds_elapsed(self, now: Optional[float] = None) -> float:
         """Transfer time actually consumed by ``now`` (in-flight pro-rated)."""

@@ -41,7 +41,10 @@ results, no parallelism.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
@@ -68,6 +71,11 @@ class EdgeSimTask:
         start_offsets: Per-job arrival offsets, aligned with ``jobs``.
         config: Bandwidths and latencies of the fleet.
         edge_workers: Parallel compute slots of the edge station.
+        kill_worker: Fault-injection poison (``WorkerKill`` specs of the
+            orchestrator's fault plan): a *worker process* handed this
+            task exits hard before simulating, as a real mid-run worker
+            crash would.  The parent's inline re-execution ignores the
+            flag, so the recovered report is bit-identical.
     """
 
     edge_index: int
@@ -76,6 +84,7 @@ class EdgeSimTask:
     start_offsets: Tuple[float, ...]
     config: SystemConfig
     edge_workers: int
+    kill_worker: bool = False
 
 
 @dataclass(frozen=True)
@@ -134,6 +143,12 @@ def simulate_edge(task: EdgeSimTask) -> EdgeSimResult:
     This is the worker-side function; it must stay importable at module
     level (and its argument/return types picklable) for the process pool.
     """
+    if task.kill_worker and multiprocessing.parent_process() is not None:
+        # Injected worker crash: die like a SIGKILL'd process, not an
+        # exception the pool could pickle back.  Only ever taken inside a
+        # pool worker; the parent's inline (re-)execution runs the
+        # simulation normally.
+        os._exit(17)
     if not task.jobs:
         return empty_edge_result(task.edge_index)
     config = task.config
@@ -304,6 +319,9 @@ def run_parallel(orchestrator: "FleetOrchestrator",
         index: [] for index in range(orchestrator.num_edge_servers)}
     for job_index, job in enumerate(jobs):
         per_edge[assignments[job.camera]].append(job_index)
+    plan = getattr(orchestrator, "fault_plan", None)
+    kill_edges = ({spec.edge_index for spec in plan.worker_kills}
+                  if plan is not None else set())
     tasks = [
         EdgeSimTask(
             edge_index=edge_index,
@@ -312,6 +330,7 @@ def run_parallel(orchestrator: "FleetOrchestrator",
             start_offsets=tuple(offsets[index] for index in job_indices),
             config=orchestrator.config,
             edge_workers=orchestrator.edge_workers,
+            kill_worker=edge_index in kill_edges,
         )
         for edge_index, job_indices in sorted(per_edge.items())
         if job_indices
@@ -394,12 +413,30 @@ def _run_edge_tasks(tasks: List[EdgeSimTask],
             results[result.edge_index] = result
         return results
     try:
+        lost_shards: List[List[EdgeSimTask]] = []
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = [pool.submit(simulate_edge_shard, shard)
-                       for shard in shards]
+            futures = {pool.submit(simulate_edge_shard, shard): shard
+                       for shard in shards}
             for future in as_completed(futures):
-                for result in future.result():
+                # A worker dying mid-run (injected WorkerKill, OOM kill,
+                # segfault) breaks the whole pool: its own shard and any
+                # shard still pending surface BrokenProcessPool here.
+                # Collect exactly those and keep every shard that already
+                # returned — only the lost work is redone.
+                try:
+                    shard_results = future.result()
+                except BrokenProcessPool:
+                    lost_shards.append(futures[future])
+                    continue
+                for result in shard_results:
                     results[result.edge_index] = result
+        # Re-execute the lost shards inline, in deterministic order (the
+        # kill poison only fires inside pool workers, so the re-run
+        # simulates normally and the merged report is bit-identical).
+        for shard in sorted(lost_shards,
+                            key=lambda shard: shard[0].edge_index):
+            for result in simulate_edge_shard(shard):
+                results[result.edge_index] = result
         return results
     except (OSError, PermissionError, RuntimeError):
         # Restricted environments (no /dev/shm, forbidden fork/spawn) fall

@@ -255,6 +255,8 @@ class WorkloadBuilder:
                 or not dataset_cache_enabled()):
             return
         workers = min(self.build_workers, len(tasks))
+        failures = 0
+        last_error: Optional[BaseException] = None
         try:
             with perf_section("workload.parallel_warm"):
                 # One pool submission per task: the pool's queue balances
@@ -263,12 +265,22 @@ class WorkloadBuilder:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     for future in [pool.submit(execute_build_task, task)
                                    for task in tasks]:
-                        future.result()
-        except Exception as error:  # noqa: BLE001 - degrade, never fail
+                        # Collect per future: one crashed worker (or one
+                        # broken task) must not discard the artifacts the
+                        # other workers already persisted.
+                        try:
+                            future.result()
+                        except Exception as error:  # noqa: BLE001
+                            failures += 1
+                            last_error = error
+        except Exception as error:  # noqa: BLE001 - pool-level failure
+            failures += 1
+            last_error = error
+        if failures:
             _LOGGER.warning(
-                "parallel workload warm-up failed (%s: %s); "
-                "falling back to the serial build path",
-                type(error).__name__, error)
+                "parallel workload warm-up lost %d task(s) (%s: %s); "
+                "the serial assembly pass will rebuild them",
+                failures, type(last_error).__name__, last_error)
 
 
 def task_cache_entries(tasks: Sequence[BuildTask]) -> List[Tuple[str, str]]:

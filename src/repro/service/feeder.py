@@ -3,9 +3,13 @@
 A :class:`ChunkFeeder` plays a pre-planned list of
 :class:`~repro.service.session.FrameChunk` into an open session at a fixed
 virtual period, the way a camera delivers one group of pictures per
-interval.  Pushes that hit backpressure are retried after a (virtual)
-delay instead of being dropped, and the session is closed when the plan is
-exhausted.
+interval.  Pushes that hit backpressure are retried under a
+:class:`~repro.faults.retry.RetryPolicy` — bounded attempts, optional
+exponential backoff — instead of being dropped *or* retried forever: a
+feeder that exhausts its budget gives up and closes the session with
+reason ``"backpressure"`` rather than livelocking the event loop against
+a wedge that will never clear.  The session is closed normally when the
+plan is exhausted.
 
 Everything the feeder does is a control event on the service's scheduler
 (:meth:`StreamingService.at` / :meth:`~StreamingService.after`), so a fed
@@ -15,9 +19,10 @@ the property the parity tests and ``examples/streaming_service.py`` pin.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..errors import BackpressureError, ServiceError
+from ..faults.retry import RetryPolicy
 from .session import FrameChunk
 
 
@@ -30,14 +35,30 @@ class ChunkFeeder:
         chunks: The chunk plan, pushed in order.
         period_seconds: Virtual seconds between consecutive pushes.
         retry_seconds: Back-off before retrying a push that hit
-            backpressure (default: a quarter period).
+            backpressure (default: a quarter period).  Ignored when
+            ``retry_policy`` is given.
         close_when_done: Close the session after the last chunk is pushed.
+        retry_policy: Full backoff/budget control.  The default is
+            ``RetryPolicy.constant(retry_seconds, max_attempts=64)`` —
+            the historical fixed-period cadence, now with a finite
+            budget so a permanently wedged session cannot spin the
+            feeder forever.
+
+    Attributes:
+        retries: Pushes that hit backpressure and were rescheduled.
+        gave_up: Whether the retry budget ran out on some chunk (the
+            session was then closed with reason ``"backpressure"``).
+        halted: Whether the session was closed out from under the feeder
+            (stall watchdog, edge loss) and feeding stopped.
+        attempt_histogram: ``{consecutive failures: chunks}`` observed
+            before a chunk finally got through (or the feeder gave up).
     """
 
     def __init__(self, service, session_id: str,
                  chunks: Sequence[FrameChunk], period_seconds: float,
                  retry_seconds: Optional[float] = None,
-                 close_when_done: bool = True) -> None:
+                 close_when_done: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if period_seconds <= 0:
             raise ServiceError(
                 f"period_seconds must be positive, got {period_seconds}")
@@ -50,12 +71,23 @@ class ChunkFeeder:
         self.period_seconds = float(period_seconds)
         self.retry_seconds = (float(retry_seconds) if retry_seconds is not None
                               else self.period_seconds / 4.0)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.constant(self.retry_seconds,
+                                                       max_attempts=64))
         self.close_when_done = close_when_done
         #: Index of the next chunk to push.
         self.next_index = 0
         #: Pushes that hit backpressure and were rescheduled.
         self.retries = 0
+        self.gave_up = False
+        self.halted = False
+        self.attempt_histogram: Dict[int, int] = {}
+        #: Consecutive backpressure failures of the chunk at ``next_index``.
+        self._attempts = 0
         self._started = False
+        register = getattr(service, "_register_feeder", None)
+        if register is not None:
+            register(self)
 
     @property
     def done(self) -> bool:
@@ -83,15 +115,43 @@ class ChunkFeeder:
         try:
             self._service.push_frames(self.session_id, chunk)
         except BackpressureError:
-            # Push back: retry the same chunk later instead of dropping it.
+            # Push back: retry the same chunk later instead of dropping
+            # it — until the policy's attempt budget runs out.
+            self._attempts += 1
             self.retries += 1
-            self._service.after(self.retry_seconds, self._push)
+            if self.retry_policy.exhausted(self._attempts):
+                self._give_up()
+                return
+            delay = self.retry_policy.delay_seconds(
+                self._attempts, key=f"{self.session_id}:{self.next_index}")
+            self._service.after(delay, self._push)
             return
+        except ServiceError:
+            # The session was closed out from under us (stall watchdog,
+            # edge loss): stop feeding instead of erroring the event loop.
+            self.halted = True
+            self._observe_attempts()
+            return
+        self._observe_attempts()
         self.next_index += 1
         if self.done:
             self._maybe_close()
         else:
             self._service.after(self.period_seconds, self._push)
+
+    def _observe_attempts(self) -> None:
+        if self._attempts:
+            self.attempt_histogram[self._attempts] = (
+                self.attempt_histogram.get(self._attempts, 0) + 1)
+            self._attempts = 0
+
+    def _give_up(self) -> None:
+        """The backpressure never cleared: close with a reason, stop."""
+        self.gave_up = True
+        self.attempt_histogram[self._attempts] = (
+            self.attempt_histogram.get(self._attempts, 0) + 1)
+        self._attempts = 0
+        self._service.close_session(self.session_id, reason="backpressure")
 
     def _maybe_close(self) -> None:
         if self.close_when_done:

@@ -48,6 +48,17 @@ class StreamIngest:
             while it stays there.  ``None`` disables the WAN bound.
         tenants: Initial tenant policies.  A ``"default"`` tenant is
             registered automatically if absent.
+        degraded_tenant: When set, admissions refused for *sheddable*
+            reasons (the requested tenant's quota is exhausted) are
+            retried under this tenant's policy instead of failing hard —
+            graceful degradation under sustained overload.
+        push_gate: Optional callback ``(edge_index) -> Optional[str]``
+            consulted last on every push; a non-``None`` refusal reason
+            (offline edge, open circuit breaker) bounces the push as
+            :class:`BackpressureError` so feeders retry with backoff.
+        edge_available: Optional callback ``(edge_index) -> bool``;
+            round-robin placement skips unavailable edges and pinned
+            placement onto one is refused.
     """
 
     def __init__(self, scheduler, num_edge_servers: int,
@@ -56,7 +67,11 @@ class StreamIngest:
                  wan_queue_depth: Callable[[int], int],
                  max_sessions: int = 64,
                  max_wan_queue_depth: Optional[int] = None,
-                 tenants: Sequence[TenantPolicy] = ()) -> None:
+                 tenants: Sequence[TenantPolicy] = (),
+                 degraded_tenant: Optional[TenantPolicy] = None,
+                 push_gate: Optional[Callable[[int], Optional[str]]] = None,
+                 edge_available: Optional[Callable[[int], bool]] = None
+                 ) -> None:
         if num_edge_servers < 1:
             raise ServiceError("num_edge_servers must be >= 1")
         if max_sessions < 1:
@@ -75,6 +90,11 @@ class StreamIngest:
             self.tenants[policy.name] = policy
         if "default" not in self.tenants:
             self.tenants["default"] = TenantPolicy(name="default")
+        self.degraded_tenant = degraded_tenant
+        if degraded_tenant is not None:
+            self.tenants.setdefault(degraded_tenant.name, degraded_tenant)
+        self._push_gate = push_gate
+        self._edge_available = edge_available
         #: All sessions ever admitted, in admission order, by session id.
         self.sessions: Dict[str, StreamSession] = {}
         self._placement_counter = 0
@@ -82,6 +102,14 @@ class StreamIngest:
         self.pushes_rejected = 0
         #: Sessions refused with AdmissionError (monotonic counter).
         self.sessions_rejected = 0
+        #: Admissions shed to the degraded tenant tier (monotonic counter).
+        self.sessions_degraded = 0
+        #: Close-reason histogram ("client", "completed", "stalled", ...).
+        self.close_reasons: Dict[str, int] = {}
+        #: Optional observer fired when an admission is shed to the
+        #: degraded tier (the fault driver records it in the trace).
+        self.on_session_degraded: Optional[
+            Callable[[StreamSession], None]] = None
 
     # ------------------------------------------------------------------ #
     # Tenants
@@ -112,38 +140,77 @@ class StreamIngest:
     # ------------------------------------------------------------------ #
     def open_session(self, camera: str, tenant: str = "default",
                      edge_index: Optional[int] = None) -> StreamSession:
-        """Admit a camera stream, or raise :class:`AdmissionError`."""
+        """Admit a camera stream, or raise :class:`AdmissionError`.
+
+        With a ``degraded_tenant`` configured, a *sheddable* refusal
+        (tenant quota exhausted) retries the admission under the degraded
+        tier's policy before giving up — the session is admitted with the
+        degraded tenant's (tighter) backpressure bounds instead of being
+        bounced.
+        """
         try:
-            if camera in self.sessions and (
-                    self.sessions[camera].state is not SessionState.CLOSED):
-                raise AdmissionError(
-                    f"camera {camera!r} already has an active session")
-            if self.active_sessions >= self.max_sessions:
-                raise AdmissionError(
-                    f"service is full ({self.max_sessions} sessions)")
-            policy = self.tenants.get(tenant)
-            if policy is None:
-                raise AdmissionError(f"unknown tenant {tenant!r}")
-            if self.active_sessions_of(tenant) >= policy.max_sessions:
-                raise AdmissionError(
-                    f"tenant {tenant!r} is at its session quota "
-                    f"({policy.max_sessions})")
-            if edge_index is None:
-                edge_index = self._placement_counter % self.num_edge_servers
-                self._placement_counter += 1
-            elif not 0 <= edge_index < self.num_edge_servers:
-                raise AdmissionError(
-                    f"edge_index {edge_index} out of range "
-                    f"[0, {self.num_edge_servers})")
-            if (self.max_wan_queue_depth is not None
-                    and self._wan_queue_depth(edge_index)
-                    >= self.max_wan_queue_depth):
-                raise AdmissionError(
-                    f"edge {edge_index} uplink is saturated "
-                    f"(queue >= {self.max_wan_queue_depth})")
-        except AdmissionError:
+            return self._admit(camera, tenant, edge_index)
+        except AdmissionError as error:
+            degraded = self.degraded_tenant
+            if (degraded is not None and error.sheddable
+                    and tenant != degraded.name):
+                try:
+                    session = self._admit(camera, degraded.name, edge_index)
+                except AdmissionError:
+                    self.sessions_rejected += 1
+                    raise error from None
+                self.sessions_degraded += 1
+                if self.on_session_degraded is not None:
+                    self.on_session_degraded(session)
+                return session
             self.sessions_rejected += 1
             raise
+
+    def _admit(self, camera: str, tenant: str,
+               edge_index: Optional[int]) -> StreamSession:
+        """One admission attempt under one tenant policy."""
+        if camera in self.sessions and (
+                self.sessions[camera].state is not SessionState.CLOSED):
+            raise AdmissionError(
+                f"camera {camera!r} already has an active session")
+        if self.active_sessions >= self.max_sessions:
+            raise AdmissionError(
+                f"service is full ({self.max_sessions} sessions)")
+        policy = self.tenants.get(tenant)
+        if policy is None:
+            raise AdmissionError(f"unknown tenant {tenant!r}")
+        if self.active_sessions_of(tenant) >= policy.max_sessions:
+            # Sheddable: this is the capacity-overload case a degraded
+            # tier exists to absorb.
+            raise AdmissionError(
+                f"tenant {tenant!r} is at its session quota "
+                f"({policy.max_sessions})", sheddable=True)
+        if edge_index is None:
+            # Round-robin over the healthy edges: each candidate consumes
+            # one counter tick, so with every edge healthy (the fault-free
+            # default) this is exactly the seed's single increment.
+            for _ in range(self.num_edge_servers):
+                candidate = self._placement_counter % self.num_edge_servers
+                self._placement_counter += 1
+                if (self._edge_available is None
+                        or self._edge_available(candidate)):
+                    edge_index = candidate
+                    break
+            else:
+                raise AdmissionError("no healthy edge server available")
+        elif not 0 <= edge_index < self.num_edge_servers:
+            raise AdmissionError(
+                f"edge_index {edge_index} out of range "
+                f"[0, {self.num_edge_servers})")
+        elif (self._edge_available is not None
+                and not self._edge_available(edge_index)):
+            raise AdmissionError(f"edge {edge_index} is offline")
+        if (self.max_wan_queue_depth is not None
+                and self._wan_queue_depth(edge_index)
+                >= self.max_wan_queue_depth):
+            raise AdmissionError(
+                f"edge {edge_index} uplink is saturated "
+                f"(queue >= {self.max_wan_queue_depth})")
         session = StreamSession(
             session_id=camera, camera=camera, tenant=tenant,
             edge_index=edge_index, opened_at=self._scheduler.now,
@@ -177,7 +244,15 @@ class StreamIngest:
             raise BackpressureError(
                 f"edge {session.edge_index} uplink is saturated "
                 f"(queue >= {self.max_wan_queue_depth})")
+        if self._push_gate is not None:
+            # Checked last so a granted half-open breaker probe is always
+            # followed by an actual submission.
+            refusal = self._push_gate(session.edge_index)
+            if refusal is not None:
+                self.pushes_rejected += 1
+                raise BackpressureError(refusal)
         now = self._scheduler.now
+        session.last_push = now
         if session.chunks_pushed == 0:
             session.first_arrival = now
         session.chunks_pushed += 1
@@ -189,12 +264,24 @@ class StreamIngest:
         session.edge_cloud_bytes_pushed += chunk.edge_cloud_bytes
         self._submit_chunk(session, chunk)
 
-    def close_session(self, session_id: str) -> StreamSession:
-        """Stop accepting pushes; the session drains its in-flight chunks."""
+    def close_session(self, session_id: str,
+                      reason: str = "client") -> StreamSession:
+        """Stop accepting pushes; the session drains its in-flight chunks.
+
+        ``reason`` records *why* the session closed ("client" for an
+        ordinary close; the fault plane uses "stalled", "backpressure",
+        "edge-lost", ...).  Only the first close sets the reason; the
+        histogram is served in ``ServiceStatus.close_reasons``.
+        """
         session = self._session(session_id)
         if session.state is SessionState.CLOSED:
             return session
-        session.state = SessionState.DRAINING
+        if session.state is SessionState.OPEN:
+            session.state = SessionState.DRAINING
+            if not session.close_reason:
+                session.close_reason = str(reason)
+            self.close_reasons[session.close_reason] = (
+                self.close_reasons.get(session.close_reason, 0) + 1)
         self._maybe_finalise(session)
         return session
 
@@ -215,6 +302,16 @@ class StreamIngest:
         session.chunks_completed += 1
         session.last_completion = self._scheduler.now
         session.chunk_latencies.append(latency_seconds)
+        self._maybe_finalise(session)
+
+    def on_chunk_failed(self, session: StreamSession) -> None:
+        """Record a chunk lost for good (fault plane, failover impossible).
+
+        The chunk leaves the in-flight accounting so a draining session
+        can still finalise instead of waiting forever for a completion
+        that will never come.
+        """
+        session.chunks_failed += 1
         self._maybe_finalise(session)
 
     # ------------------------------------------------------------------ #

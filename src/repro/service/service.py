@@ -37,6 +37,9 @@ from ..cluster.fleet import (CameraJob, FleetReport, JobOutcome,
 from ..config import SystemConfig
 from ..dataflow.scheduler import EventScheduler, ServiceStation
 from ..errors import ServiceError
+from ..faults.injector import ResilienceConfig, ServiceFaultDriver
+from ..faults.plan import FaultPlan
+from ..faults.stats import FaultStats
 from ..net.contention import ContendedLink
 from ..net.link import NetworkLink
 from ..perf import Stopwatch, section
@@ -45,6 +48,25 @@ from .ingest import StreamIngest
 from .session import FrameChunk, SessionState, StreamSession, TenantPolicy
 from .status import (ServiceStatus, SessionSnapshot, StationSnapshot,
                      snapshot_session, snapshot_station)
+
+
+class _ChunkRun:
+    """Mutable pipeline state of one in-flight chunk.
+
+    Carried as the station/link payload through every stage, so a stage
+    failed out by the fault plane can be resubmitted — and, because each
+    stage entry re-reads ``session.edge_index``, a resubmission after a
+    session failover automatically lands on the session's new edge.
+    """
+
+    __slots__ = ("session", "chunk", "arrival", "stage")
+
+    def __init__(self, session: StreamSession, chunk: FrameChunk,
+                 arrival: float) -> None:
+        self.session = session
+        self.chunk = chunk
+        self.arrival = arrival
+        self.stage = "lan"
 
 
 class StreamingService:
@@ -61,6 +83,15 @@ class StreamingService:
             (``None`` disables it).
         tenants: Initial tenant policies (a ``"default"`` tenant is always
             available).
+        faults: Optional :class:`~repro.faults.FaultPlan` to inject.  With
+            neither ``faults`` nor ``resilience`` set, no fault driver is
+            installed and the pipeline is bit-identical to the seed.
+        resilience: Self-healing knobs (:class:`ResilienceConfig`:
+            breaker thresholds, stall watchdog).  Setting it installs the
+            fault driver even without a plan.
+        degraded_tenant: Overloaded admissions are shed to this tenant
+            tier instead of raising ``AdmissionError`` (see
+            :meth:`StreamIngest.open_session`).
     """
 
     def __init__(self, config: Optional[SystemConfig] = None,
@@ -69,7 +100,10 @@ class StreamingService:
                  clock: Optional[ClockDriver] = None,
                  max_sessions: int = 64,
                  max_wan_queue_depth: Optional[int] = None,
-                 tenants: Sequence[TenantPolicy] = ()) -> None:
+                 tenants: Sequence[TenantPolicy] = (),
+                 faults: Optional[FaultPlan] = None,
+                 resilience: Optional[ResilienceConfig] = None,
+                 degraded_tenant: Optional[TenantPolicy] = None) -> None:
         if num_edge_servers < 1:
             raise ServiceError("num_edge_servers must be >= 1")
         if edge_workers < 1:
@@ -104,9 +138,21 @@ class StreamingService:
             wan_queue_depth=lambda index: self.wan_links[index].queue_depth,
             max_sessions=max_sessions,
             max_wan_queue_depth=max_wan_queue_depth,
-            tenants=tenants)
+            tenants=tenants,
+            degraded_tenant=degraded_tenant,
+            push_gate=self._push_refusal,
+            edge_available=self._edge_available)
         #: Wall-clock seconds spent inside ``run`` so far.
         self.wall_run_seconds = 0.0
+        #: Feeders that registered themselves (for retry accounting).
+        self.feeders: List[object] = []
+        self._fault_driver: Optional[ServiceFaultDriver] = None
+        if faults is not None or resilience is not None:
+            self._fault_driver = ServiceFaultDriver(
+                self, faults if faults is not None else FaultPlan(),
+                resilience if resilience is not None else ResilienceConfig())
+            self.ingest.on_session_degraded = (
+                self._fault_driver.on_session_degraded)
 
     # ------------------------------------------------------------------ #
     # Session API (delegated to the ingest front end)
@@ -121,9 +167,10 @@ class StreamingService:
         """Push a frame chunk (see :meth:`StreamIngest.push_frames`)."""
         self.ingest.push_frames(session_id, chunk)
 
-    def close_session(self, session_id: str) -> StreamSession:
+    def close_session(self, session_id: str,
+                      reason: str = "client") -> StreamSession:
         """Begin draining a session (see :meth:`StreamIngest.close_session`)."""
-        return self.ingest.close_session(session_id)
+        return self.ingest.close_session(session_id, reason=reason)
 
     def retune_session(self, session_id: str, *,
                        max_pending_chunks: int) -> StreamSession:
@@ -215,6 +262,15 @@ class StreamingService:
                          for name in self.ingest.tenants},
                 stations=tuple(stations),
                 sessions=tuple(sessions),
+                sessions_degraded=self.ingest.sessions_degraded,
+                close_reasons=dict(self.ingest.close_reasons),
+                breaker_states=(
+                    {index: breaker.state.value for index, breaker
+                     in self._fault_driver.breakers.items()}
+                    if self._fault_driver is not None else {}),
+                fault_counters=(stats.as_dict()
+                                if (stats := self.fault_stats()) is not None
+                                else {}),
             )
 
     def fleet_report(self) -> FleetReport:
@@ -285,6 +341,7 @@ class StreamingService:
             outcomes=outcomes,
             sim_wall_seconds=self.wall_run_seconds,
             events_processed=self.scheduler.events_processed,
+            faults=self.fault_stats(),
         )
 
     # ------------------------------------------------------------------ #
@@ -302,31 +359,105 @@ class StreamingService:
                 latency_ms=config.camera_edge_latency_ms))
 
     def _submit_chunk(self, session: StreamSession, chunk: FrameChunk) -> None:
-        """Chain one chunk through LAN -> edge -> WAN -> cloud."""
-        scheduler = self.scheduler
-        lan = self.lan_links[session.session_id]
-        edge = self.edge_stations[session.edge_index]
-        wan = self.wan_links[session.edge_index]
-        cloud = self.cloud_station
-        arrival = scheduler.now
+        """Chain one chunk through LAN -> edge -> WAN -> cloud.
 
-        def _finish(_: object) -> None:
-            self.ingest.on_chunk_complete(session, scheduler.now - arrival)
+        Each stage entry re-reads ``session.edge_index`` and passes the
+        :class:`_ChunkRun` as the payload with an ``on_fail`` hook, so a
+        stage failed out by an injected edge crash can be resubmitted on
+        the session's (possibly failed-over) edge.  Fault-free this makes
+        exactly the same submissions in the same order as the seed.
+        """
+        self._enter_lan(_ChunkRun(session, chunk, self.scheduler.now))
 
-        def _enter_cloud(_: object) -> None:
-            cloud.submit(chunk.cloud_seconds, on_complete=_finish)
+    def _enter_lan(self, run: _ChunkRun) -> None:
+        run.stage = "lan"
+        self.lan_links[run.session.session_id].submit(
+            run.chunk.camera_edge_bytes,
+            description=f"ingest:{run.session.camera}",
+            on_complete=self._enter_edge, payload=run,
+            on_fail=self._stage_failed)
 
-        def _enter_wan(_: object) -> None:
-            wan.submit(chunk.edge_cloud_bytes,
-                       description=f"stream:{session.camera}",
-                       on_complete=_enter_cloud)
+    def _enter_edge(self, run: _ChunkRun) -> None:
+        run.stage = "edge"
+        self.edge_stations[run.session.edge_index].submit(
+            run.chunk.edge_seconds,
+            on_complete=self._enter_wan, payload=run,
+            on_fail=self._stage_failed)
 
-        def _enter_edge(_: object) -> None:
-            edge.submit(chunk.edge_seconds, on_complete=_enter_wan)
+    def _enter_wan(self, run: _ChunkRun) -> None:
+        run.stage = "wan"
+        self.wan_links[run.session.edge_index].submit(
+            run.chunk.edge_cloud_bytes,
+            description=f"stream:{run.session.camera}",
+            on_complete=self._enter_cloud, payload=run,
+            on_fail=self._stage_failed)
 
-        lan.submit(chunk.camera_edge_bytes,
-                   description=f"ingest:{session.camera}",
-                   on_complete=_enter_edge)
+    def _enter_cloud(self, run: _ChunkRun) -> None:
+        run.stage = "cloud"
+        self.cloud_station.submit(run.chunk.cloud_seconds,
+                                  on_complete=self._finish_chunk, payload=run)
+
+    def _resubmit_stage(self, run: _ChunkRun) -> None:
+        """Re-enter the stage a failed chunk was in (fault driver only)."""
+        {"lan": self._enter_lan, "edge": self._enter_edge,
+         "wan": self._enter_wan, "cloud": self._enter_cloud}[run.stage](run)
+
+    def _finish_chunk(self, run: _ChunkRun) -> None:
+        self.ingest.on_chunk_complete(run.session,
+                                      self.scheduler.now - run.arrival)
+        if self._fault_driver is not None:
+            self._fault_driver.on_chunk_complete(run)
+
+    def _stage_failed(self, run: _ChunkRun, reason: str) -> None:
+        # on_fail hooks only exist on jobs the driver can fail, and
+        # fail_all is only called by the driver — so it is always present.
+        self._fault_driver.on_chunk_failed(run, reason)
+
+    # ------------------------------------------------------------------ #
+    # Fault plumbing (all no-ops / constants without a fault driver)
+    # ------------------------------------------------------------------ #
+    def _push_refusal(self, edge_index: int) -> Optional[str]:
+        """Why a push to ``edge_index`` must bounce (``None`` = admitted)."""
+        if self._fault_driver is None:
+            return None
+        return self._fault_driver.push_refusal(edge_index)
+
+    def _edge_available(self, edge_index: int) -> bool:
+        """Whether ``edge_index`` is accepting placements."""
+        return (self._fault_driver is None
+                or self._fault_driver.edge_online[edge_index])
+
+    def _register_feeder(self, feeder: object) -> None:
+        """Track a feeder so reports can fold in its retry accounting."""
+        self.feeders.append(feeder)
+
+    def fault_stats(self) -> Optional[FaultStats]:
+        """Fault/recovery counters, or ``None`` when nothing happened.
+
+        Combines the fault driver's counters (crashes, failovers,
+        breakers) with feeder retry accounting and degraded admissions.
+        Returns ``None`` on a clean run so fault-free reports stay
+        bit-identical to the seed.
+        """
+        driver = self._fault_driver
+        stats = driver.stats if driver is not None else FaultStats()
+        stats.sessions_degraded = self.ingest.sessions_degraded
+        stats.feeder_retries = sum(
+            getattr(feeder, "retries", 0) for feeder in self.feeders)
+        stats.feeder_give_ups = sum(
+            1 for feeder in self.feeders if getattr(feeder, "gave_up", False))
+        stats.retry_histogram = {}
+        for feeder in self.feeders:
+            for attempts, count in getattr(feeder, "attempt_histogram",
+                                           {}).items():
+                stats.observe_attempts(attempts, count)
+        return stats if stats.has_activity() else None
+
+    @property
+    def recovery_trace(self):
+        """The fault driver's :class:`RecoveryTrace` (``None`` without one)."""
+        return (self._fault_driver.trace
+                if self._fault_driver is not None else None)
 
 
 # Re-exported for convenience so callers can build sessions without touching

@@ -184,6 +184,12 @@ class StreamSession:
         chunk_latencies: Push-to-completion latency of every finished chunk.
         closed_at: Virtual time the session reached ``CLOSED`` (``nan``
             while open or draining).
+        chunks_failed: Chunks lost for good by the fault plane (always 0
+            on the fault-free path).
+        last_push: Virtual time of the latest accepted push (``nan``
+            until the first one); feeds the stall watchdog.
+        close_reason: Why the session was closed ("" while open;
+            "client", "completed", "stalled", "backpressure", ...).
     """
 
     session_id: str
@@ -205,13 +211,29 @@ class StreamSession:
     last_completion: float = float("nan")
     chunk_latencies: List[float] = field(default_factory=list)
     closed_at: float = float("nan")
+    chunks_failed: int = 0
+    last_push: float = float("nan")
+    close_reason: str = ""
 
     @property
     def in_flight(self) -> int:
-        """Chunks pushed but not yet completed."""
-        return self.chunks_pushed - self.chunks_completed
+        """Chunks pushed but neither completed nor failed out."""
+        return self.chunks_pushed - self.chunks_completed - self.chunks_failed
 
     @property
     def is_open(self) -> bool:
         """Whether the session still accepts frame pushes."""
         return self.state is SessionState.OPEN
+
+    def last_progress(self, default: float = 0.0) -> float:
+        """Latest instant the session demonstrably made progress.
+
+        The max of open, last accepted push and last completion times —
+        the stall watchdog compares this against the clock.
+        """
+        progress = default
+        for candidate in (self.opened_at, self.last_push,
+                          self.last_completion):
+            if candidate == candidate and candidate > progress:
+                progress = candidate
+        return progress

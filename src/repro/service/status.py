@@ -15,7 +15,7 @@ mid-run where the batch report only had to be honest post-drain:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Tuple
 
 from ..cluster.fleet import latency_percentiles_of
@@ -94,6 +94,12 @@ class ServiceStatus:
         tenants: ``tenant name -> active session count``.
         stations: Per-station snapshots (edges, WAN uplinks, cloud).
         sessions: Per-session snapshots, in admission order.
+        sessions_degraded: Admissions shed to the degraded tenant tier.
+        close_reasons: ``reason -> count`` histogram of session closes.
+        breaker_states: ``edge index -> breaker state value`` (empty
+            without a fault driver).
+        fault_counters: Flat :meth:`FaultStats.as_dict` metrics (empty
+            on a clean run, so fault-free snapshots look like the seed's).
     """
 
     virtual_now: float
@@ -110,6 +116,10 @@ class ServiceStatus:
     tenants: Dict[str, int]
     stations: Tuple[StationSnapshot, ...]
     sessions: Tuple[SessionSnapshot, ...]
+    sessions_degraded: int = 0
+    close_reasons: Dict[str, int] = field(default_factory=dict)
+    breaker_states: Dict[int, str] = field(default_factory=dict)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def max_utilisation(self) -> float:

@@ -1,0 +1,141 @@
+"""Crash-consistency of the on-disk artifact cache.
+
+Injects the on-disk corruption modes of the fault plane
+(:func:`repro.faults.plan.apply_cache_corruption`) between a store and
+the next load, simulating a writer that died mid-write or a bundle that
+rotted on disk:
+
+* **torn write** — the process died after writing the temp file but
+  before the atomic rename: the entry is simply absent (clean miss), the
+  stray temp file never shadows it, and a recompute stores over it.
+* **truncated bundle** — a half-written ``.npz`` fails verification on
+  load, is evicted, and the caller recomputes.
+* **garbage sibling** — the human-readable ``.json`` (the LRU atime
+  carrier) is corrupted while a reader performs a verified hit; the
+  embedded manifest is authoritative so the hit survives.
+
+In every scenario, no stale pin may leak: :func:`pinned_entries` must be
+empty once the access is over.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import diskcache
+from repro.faults import CacheCorruption, apply_cache_corruption
+
+KIND = "crash-consistency"
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path))
+    monkeypatch.delenv(diskcache.CACHE_MAX_BYTES_ENV, raising=False)
+    return tmp_path
+
+
+def arrays():
+    return {"frames": np.arange(48, dtype=np.uint8).reshape(3, 4, 4),
+            "costs": np.array([1.5, 2.5, 3.5])}
+
+
+class TestTornWrite:
+    def test_torn_write_is_a_clean_miss_then_recompute(self, cache_dir):
+        key = diskcache.content_key("torn")
+        spec = CacheCorruption(kind=KIND, key=key, mode="torn-write")
+        torn_path = apply_cache_corruption(spec)
+        assert os.path.exists(torn_path)
+
+        with diskcache.pinned([(KIND, key)]):
+            # The rename never happened: the entry is absent, the stray
+            # temp file does not shadow it.
+            assert diskcache.load(KIND, key) is None
+            # The "recompute" stores normally and the next load hits.
+            diskcache.store(KIND, key, arrays())
+            loaded = diskcache.load(KIND, key)
+        assert loaded is not None
+        got, manifest = loaded
+        assert np.array_equal(got["frames"], arrays()["frames"])
+        assert manifest["key"] == key
+        assert diskcache.pinned_entries() == set()
+
+    def test_sweep_tolerates_the_stray_temp_file(self, cache_dir):
+        key = diskcache.content_key("torn-sweep")
+        apply_cache_corruption(
+            CacheCorruption(kind=KIND, key=key, mode="torn-write"))
+        diskcache.store(KIND, key, arrays())
+        # A sweep over a directory holding a torn temp file must neither
+        # crash nor evict the healthy entry next to it.
+        result = diskcache.sweep(max_bytes=10 * 1024 * 1024)
+        assert result.evicted == []
+        assert diskcache.load(KIND, key) is not None
+
+
+class TestTruncatedBundle:
+    def test_truncated_bundle_degrades_to_recompute(self, cache_dir):
+        key = diskcache.content_key("truncated")
+        path = diskcache.store(KIND, key, arrays())
+        whole = os.path.getsize(path)
+        bundle = apply_cache_corruption(
+            CacheCorruption(kind=KIND, key=key, mode="truncate-bundle"))
+        assert os.path.getsize(bundle) < whole
+
+        with diskcache.pinned([(KIND, key)]):
+            # Verification fails -> miss; the bad entry is evicted so it
+            # cannot poison later readers.
+            assert diskcache.load(KIND, key) is None
+            assert not os.path.exists(path)
+            # Recompute restores a verified hit.
+            diskcache.store(KIND, key, arrays())
+            assert diskcache.load(KIND, key) is not None
+        assert diskcache.pinned_entries() == set()
+
+
+class TestGarbageSibling:
+    def test_verified_hit_survives_corrupted_sibling(self, cache_dir):
+        key = diskcache.content_key("sibling")
+        path = diskcache.store(KIND, key, arrays())
+        sibling = apply_cache_corruption(
+            CacheCorruption(kind=KIND, key=key, mode="garbage-sibling"))
+        with open(sibling, "r", encoding="utf-8") as handle:
+            assert handle.read() == "{corrupt"
+
+        with diskcache.pinned([(KIND, key)]):
+            loaded = diskcache.load(KIND, key)
+        # The embedded manifest is authoritative: the hit survives.
+        assert loaded is not None
+        got, manifest = loaded
+        assert np.array_equal(got["costs"], arrays()["costs"])
+        assert manifest["kind"] == KIND
+        assert os.path.exists(path)
+        assert diskcache.pinned_entries() == set()
+
+    def test_missing_sibling_is_restored_on_hit(self, cache_dir):
+        key = diskcache.content_key("sibling-missing")
+        path = diskcache.store(KIND, key, arrays())
+        sibling = path[:-len(".npz")] + ".json"
+        os.unlink(sibling)
+        assert diskcache.load(KIND, key) is not None
+        # The hit rewrote the sibling from the embedded manifest, so the
+        # entry regains its LRU access-time carrier.
+        assert os.path.exists(sibling)
+
+
+class TestCorruptionSpecPlumbing:
+    def test_modes_are_validated(self):
+        from repro.errors import FaultError
+        with pytest.raises(FaultError):
+            CacheCorruption(kind=KIND, key="k", mode="set-on-fire")
+        with pytest.raises(FaultError):
+            CacheCorruption(kind="", key="k")
+
+    def test_corrupting_an_absent_bundle_raises(self, cache_dir):
+        from repro.errors import FaultError
+        with pytest.raises(FaultError):
+            apply_cache_corruption(CacheCorruption(
+                kind=KIND, key=diskcache.content_key("nope"),
+                mode="truncate-bundle"))

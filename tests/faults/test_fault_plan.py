@@ -1,0 +1,270 @@
+"""Unit tests for the fault-plane primitives.
+
+Covers the plain-data layer underneath the injection drivers: fault
+specs and :class:`FaultPlan` (validation, seeded draws, composition),
+the shared :class:`RetryPolicy`, the per-edge :class:`CircuitBreaker`
+state machine, and the :class:`FaultStats` / :class:`RecoveryTrace`
+accounting the chaos-soak contract diffs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (BreakerState, CircuitBreaker, EdgeCrash, FaultPlan,
+                          FaultStats, RecoveryTrace, RetryPolicy, StreamStall,
+                          WanDegradation, WorkerKill)
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(max_attempts=8, base_delay_seconds=0.1,
+                             multiplier=2.0, max_delay_seconds=0.5)
+        assert policy.delay_seconds(1) == pytest.approx(0.1)
+        assert policy.delay_seconds(2) == pytest.approx(0.2)
+        assert policy.delay_seconds(3) == pytest.approx(0.4)
+        # The ceiling clamps every later attempt.
+        assert policy.delay_seconds(4) == pytest.approx(0.5)
+        assert policy.delay_seconds(20) == pytest.approx(0.5)
+
+    def test_constant_policy_is_flat(self):
+        policy = RetryPolicy.constant(0.25, max_attempts=4)
+        assert [policy.delay_seconds(n) for n in range(1, 5)] == [0.25] * 4
+        assert not policy.exhausted(3)
+        assert policy.exhausted(4)
+        assert policy.exhausted(5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, multiplier=1.0,
+                             max_delay_seconds=1.0, jitter_fraction=0.5,
+                             seed=11)
+        delays = [policy.delay_seconds(n, key="cam-3") for n in range(1, 9)]
+        again = [policy.delay_seconds(n, key="cam-3") for n in range(1, 9)]
+        assert delays == again  # same (seed, key, attempt) -> same jitter
+        assert all(0.5 <= delay <= 1.5 for delay in delays)
+        # Different keys draw different jitter (the retries decorrelate).
+        other = [policy.delay_seconds(n, key="cam-4") for n in range(1, 9)]
+        assert other != delays
+
+    def test_no_jitter_means_no_rng(self):
+        policy = RetryPolicy(base_delay_seconds=0.5, multiplier=1.0,
+                             max_delay_seconds=0.5)
+        assert policy.delay_seconds(3, key="anything") == 0.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_seconds": 0.0},
+        {"multiplier": 0.5},
+        {"max_delay_seconds": 0.01, "base_delay_seconds": 0.05},
+        {"jitter_fraction": 1.0},
+        {"jitter_fraction": -0.1},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(FaultError):
+            RetryPolicy().delay_seconds(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker("edge:0", failure_threshold=3,
+                                 cooldown_seconds=5.0)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow(3.5)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(1.0)
+        breaker.record_success(1.5)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=2.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(1.9)          # still cooling down
+        assert breaker.allow(2.5)              # the probe slot
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(2.6)          # probe already in flight
+        breaker.record_success(3.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(3.1)
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=1.0)
+        breaker.trip(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.6)  # the probe failed
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 1.6
+        assert breaker.opens == 2
+
+    def test_retrip_restarts_cooldown_without_recounting(self):
+        opened = []
+        breaker = CircuitBreaker(cooldown_seconds=1.0,
+                                 on_open=lambda: opened.append(True))
+        breaker.trip(0.0)
+        breaker.trip(0.5)
+        assert breaker.opens == 1
+        assert len(opened) == 1
+        assert breaker.opened_at == 0.5
+        assert not breaker.allow(1.2)  # cooldown restarted at 0.5
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(FaultError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(FaultError):
+            CircuitBreaker(cooldown_seconds=0.0)
+
+
+class TestFaultSpecs:
+    def test_spec_validation(self):
+        with pytest.raises(FaultError):
+            EdgeCrash(edge_index=-1, at_seconds=1.0)
+        with pytest.raises(FaultError):
+            EdgeCrash(edge_index=0, at_seconds=1.0,
+                      restart_after_seconds=0.0)
+        with pytest.raises(FaultError):
+            WanDegradation(edge_index=0, at_seconds=1.0,
+                           duration_seconds=1.0, bandwidth_factor=1.0)
+        with pytest.raises(FaultError):
+            StreamStall(camera="", at_seconds=1.0, duration_seconds=1.0)
+        with pytest.raises(FaultError):
+            WorkerKill(edge_index=-2)
+
+    def test_permanence_and_partition_flags(self):
+        assert EdgeCrash(edge_index=0, at_seconds=1.0).permanent
+        assert not EdgeCrash(edge_index=0, at_seconds=1.0,
+                             restart_after_seconds=2.0).permanent
+        assert WanDegradation(edge_index=0, at_seconds=1.0,
+                              duration_seconds=1.0).partition
+        assert not WanDegradation(edge_index=0, at_seconds=1.0,
+                                  duration_seconds=1.0,
+                                  bandwidth_factor=0.25).partition
+
+
+class TestFaultPlan:
+    def test_properties_are_time_ordered(self):
+        plan = FaultPlan(specs=(
+            EdgeCrash(edge_index=1, at_seconds=5.0),
+            WanDegradation(edge_index=0, at_seconds=3.0,
+                           duration_seconds=1.0),
+            EdgeCrash(edge_index=0, at_seconds=1.0,
+                      restart_after_seconds=0.5),
+            WorkerKill(edge_index=1),
+        ))
+        assert [crash.at_seconds for crash in plan.edge_crashes] == [1.0, 5.0]
+        assert plan.worker_kills == (WorkerKill(edge_index=1),)
+        assert plan.has_scheduler_faults
+
+    def test_worker_kill_only_plans_leave_the_simulation_alone(self):
+        plan = FaultPlan(specs=(WorkerKill(edge_index=0),))
+        assert not plan.has_scheduler_faults
+        assert FaultPlan().has_scheduler_faults is False
+
+    def test_validate_for_rejects_out_of_range_targets(self):
+        plan = FaultPlan(specs=(EdgeCrash(edge_index=4, at_seconds=1.0),))
+        with pytest.raises(FaultError):
+            plan.validate_for(2)
+        plan.validate_for(5)
+
+    def test_validate_for_requires_a_survivor(self):
+        doomed = FaultPlan(specs=(
+            EdgeCrash(edge_index=0, at_seconds=1.0),
+            EdgeCrash(edge_index=1, at_seconds=2.0),
+        ))
+        with pytest.raises(FaultError):
+            doomed.validate_for(2)
+        doomed.validate_for(3)  # one survivor is enough
+
+    def test_unknown_specs_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(specs=("not a spec",))  # type: ignore[arg-type]
+
+    def test_seeded_plans_are_reproducible(self):
+        kwargs = dict(num_edge_servers=4, cameras=("cam-a", "cam-b"),
+                      horizon_seconds=12.0)
+        assert (FaultPlan.seeded(7, **kwargs)
+                == FaultPlan.seeded(7, **kwargs))
+        assert (FaultPlan.seeded(7, **kwargs)
+                != FaultPlan.seeded(8, **kwargs))
+
+    def test_seeded_plan_shape(self):
+        plan = FaultPlan.seeded(3, num_edge_servers=4,
+                                cameras=("cam-a", "cam-b"),
+                                horizon_seconds=10.0)
+        crashes = plan.edge_crashes
+        assert len(crashes) == 2
+        # Crash targets are distinct edges; permanence alternates.
+        assert len({crash.edge_index for crash in crashes}) == 2
+        assert sorted(crash.permanent for crash in crashes) == [False, True]
+        assert len(plan.wan_degradations) == 1
+        assert len(plan.stream_stalls) == 1
+        assert plan.stream_stalls[0].camera in ("cam-a", "cam-b")
+        assert len(plan.worker_kills) == 1
+        for spec in plan.specs:
+            at = getattr(spec, "at_seconds", 0.0)
+            assert 0.0 <= at <= 10.0
+
+    def test_seeded_needs_a_surviving_edge(self):
+        with pytest.raises(FaultError):
+            FaultPlan.seeded(1, num_edge_servers=2, num_edge_crashes=2)
+
+
+class TestFaultStats:
+    def test_has_activity(self):
+        stats = FaultStats()
+        assert not stats.has_activity()
+        stats.crashes_seen = 1
+        assert stats.has_activity()
+        histogram_only = FaultStats()
+        histogram_only.observe_attempts(3)
+        assert histogram_only.has_activity()
+
+    def test_as_dict_flattens_the_histogram(self):
+        stats = FaultStats(breaker_opens=2)
+        stats.observe_attempts(1, count=4)
+        stats.observe_attempts(5)
+        flat = stats.as_dict()
+        assert flat["breaker_opens"] == 2
+        assert flat["retry_attempts_1"] == 4
+        assert flat["retry_attempts_5"] == 1
+
+    def test_mismatches_are_symmetric_on_keys(self):
+        a = FaultStats(crashes_seen=2)
+        b = FaultStats()
+        b.observe_attempts(2)
+        problems = a.mismatches(b)
+        assert "faults.crashes_seen: 2 != 0" in problems
+        assert "faults.retry_attempts_2: 0 != 1" in problems
+        assert a.mismatches(FaultStats(crashes_seen=2)) == []
+
+
+class TestRecoveryTrace:
+    def test_lines_are_stable(self):
+        trace = RecoveryTrace()
+        trace.record(1.25, "edge-crash", "edge=1 permanent")
+        trace.record(2.0, "tick")
+        assert trace.lines() == ["t=1.250000 edge-crash edge=1 permanent",
+                                 "t=2.000000 tick"]
+        assert trace.kinds() == {"edge-crash": 1, "tick": 1}
+        assert len(trace) == 2
+
+    def test_mismatches(self):
+        a, b = RecoveryTrace(), RecoveryTrace()
+        a.record(1.0, "edge-crash", "edge=0")
+        b.record(1.0, "edge-crash", "edge=1")
+        b.record(2.0, "edge-restart", "edge=1")
+        problems = a.mismatches(b)
+        assert any("length" in problem for problem in problems)
+        assert any("trace[0]" in problem for problem in problems)
+        assert a.mismatches(a) == []
