@@ -25,18 +25,41 @@ builds a cold cache in parallel through
 under the :data:`repro.contracts.FAST_CONTRACT` accuracy budget; the
 default ``exact`` keeps every kernel bit-identical to the seed.
 
+The scale-out knobs map straight onto ``SystemConfig``: ``--transport``
+(pickle | shm | auto) selects the worker payload transport,``--steal``
+turns on the work-stealing claim protocol (the recorded steal log lands in
+the JSON artifact), ``--regions`` the hierarchical cloud replay.  Every
+configuration is asserted equal to the serial run — the knobs change how
+fast the answer arrives, never the answer.  ``--scale-cameras N`` switches
+to a synthetic N-camera fleet (no workload rendering) and times the
+pickle/static baseline against the configured scale-out path;
+``--min-speedup`` turns that comparison into a hard gate (the CI
+fleet-scaling lane sets it).  ``--json-out`` writes the sweep + comparison
+as a JSON artifact; ``--store`` round-trips every report through the
+persistent :class:`repro.cluster.SQLiteResultStore` and verifies the
+content-integrity hashes.
+
 Run with:  python examples/fleet_scaling.py [--workers 1,2,4]
                                             [--build-workers 2]
                                             [--precision exact|fast]
+                                            [--transport shm] [--steal]
+                                            [--regions 0]
+                                            [--scale-cameras 64]
+                                            [--json-out sweep.json]
+                                            [--store results.sqlite]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
 
 from repro import SystemConfig
 from repro.contracts import PRECISION_MODES
-from repro.cluster import FleetOrchestrator, PlacementPolicy
+from repro.cluster import (CameraJob, FleetOrchestrator, PlacementPolicy,
+                           SQLiteResultStore)
+from repro.config import TRANSPORT_MODES, TRANSPORT_PICKLE
 from repro.core import DeploymentMode, build_workload, plan_camera_job
 from repro.datasets import ALL_DATASETS, DatasetSpec
 from repro.datasets.generator import DatasetInstance
@@ -129,6 +152,117 @@ def run_sweep(jobs, config: SystemConfig, fleet_workers: int,
     return reports
 
 
+def synthetic_jobs(count: int):
+    """A deterministic heterogeneous fleet with no workload rendering.
+
+    The scale benchmark wants thousands of cameras without paying for
+    synthetic video generation; the job costs here follow fixed arithmetic
+    progressions (no RNG), so every run — and every worker/transport
+    configuration — sees exactly the same fleet.
+    """
+    jobs = []
+    for index in range(count):
+        spread = index % 7
+        jobs.append(CameraJob(
+            camera=f"scale-{index:04d}", video=f"feed-{spread}",
+            num_frames=240 + 36 * spread, frames_for_inference=8 + spread,
+            edge_seconds=0.35 + 0.11 * spread,
+            cloud_seconds=0.22 + 0.05 * ((index * 3) % 5),
+            camera_edge_bytes=600_000 + 1013 * index,
+            edge_cloud_bytes=180_000 + 577 * spread))
+    return jobs
+
+
+def timed_run(jobs, config: SystemConfig, num_edges: int, workers: int):
+    """One fleet run under ``config``; returns ``(report, wall_seconds)``."""
+    orchestrator = FleetOrchestrator(jobs, num_edge_servers=num_edges,
+                                     config=config, fleet_workers=workers)
+    started = time.perf_counter()
+    report = orchestrator.run()
+    return orchestrator, report, time.perf_counter() - started
+
+
+def run_scale_comparison(num_cameras: int, num_edges: int, workers: int,
+                         scale_config: SystemConfig, min_speedup: float):
+    """Time the pickle/static baseline against the scale-out configuration.
+
+    Both parallel paths (and the serial reference) must produce the same
+    report; only the wall clock may differ.  Returns the comparison rows
+    for the JSON artifact; raises when the configured scale-out path fails
+    the ``--min-speedup`` gate against the serial reference.
+    """
+    jobs = synthetic_jobs(num_cameras)
+    baseline_config = SystemConfig(
+        precision=scale_config.precision, fleet_transport=TRANSPORT_PICKLE,
+        fleet_stealing=False, fleet_regions=1)
+    _, serial_report, serial_wall = timed_run(jobs, baseline_config,
+                                              num_edges, workers=1)
+    _, static_report, static_wall = timed_run(jobs, baseline_config,
+                                              num_edges, workers)
+    orchestrator, scale_report, scale_wall = timed_run(
+        jobs, scale_config, num_edges, workers)
+    for name, report in (("pickle/static", static_report),
+                         ("scale-out", scale_report)):
+        mismatches = serial_report.parity_mismatches(report, TOLERANCE)
+        if mismatches:
+            raise AssertionError(f"{name} diverged from the serial run: "
+                                 + "; ".join(mismatches))
+    speedup_vs_serial = serial_wall / scale_wall if scale_wall > 0 else 0.0
+    speedup_vs_static = static_wall / scale_wall if scale_wall > 0 else 0.0
+    steal_log = orchestrator.last_steal_log
+    print(f"--- scale comparison: {num_cameras} cameras, {num_edges} edges, "
+          f"fleet_workers={workers} ---")
+    print(f"  serial reference      : {serial_wall * 1e3:8.1f} ms")
+    print(f"  pickle/static baseline: {static_wall * 1e3:8.1f} ms")
+    print(f"  scale-out path        : {scale_wall * 1e3:8.1f} ms  "
+          f"({scale_config.fleet_transport}, "
+          f"steal={scale_config.fleet_stealing}, "
+          f"regions={scale_config.fleet_regions})")
+    print(f"  speedup vs serial     : {speedup_vs_serial:8.2f}x")
+    print(f"  speedup vs baseline   : {speedup_vs_static:8.2f}x")
+    if steal_log is not None:
+        print(f"  steals                : {steal_log.steals} of "
+              f"{len(steal_log.records)} claims")
+    print("  parity                : all paths match the serial run "
+          f"(<= {TOLERANCE:g})")
+    if speedup_vs_serial < min_speedup:
+        raise AssertionError(
+            f"scale-out speedup {speedup_vs_serial:.2f}x vs serial is below "
+            f"the --min-speedup gate {min_speedup:.2f}x")
+    return {
+        "num_cameras": num_cameras,
+        "num_edges": num_edges,
+        "fleet_workers": workers,
+        "serial_wall_seconds": serial_wall,
+        "static_wall_seconds": static_wall,
+        "scaleout_wall_seconds": scale_wall,
+        "speedup_vs_serial": speedup_vs_serial,
+        "speedup_vs_static": speedup_vs_static,
+        "transport": scale_config.fleet_transport,
+        "stealing": scale_config.fleet_stealing,
+        "regions": scale_config.fleet_regions,
+        "steal_log": steal_log.as_dict() if steal_log is not None else None,
+    }
+
+
+def store_reports(path: str, reports) -> None:
+    """Round-trip every sweep report through the persistent SQLite store."""
+    with SQLiteResultStore(path) as store:
+        for (policy, num_edges), report in reports.items():
+            run_id = f"{policy}-{num_edges}edges"
+            store.store_fleet_report(run_id, report)
+            summary = store.report_summary(run_id)
+            if summary["metrics"] != json.loads(
+                    json.dumps(report.as_dict())):
+                raise AssertionError(f"store round-trip diverged for {run_id}")
+        problems = store.verify_integrity()
+        if problems:
+            raise AssertionError("result store failed its integrity check: "
+                                 + "; ".join(problems))
+        print(f"Stored {len(reports)} reports in {path} "
+              f"({len(store.run_ids())} runs, integrity verified).")
+
+
 def assert_reports_match(baseline, candidate, workers: int) -> None:
     """Every metric of every report must match the single-process run."""
     for key, report in baseline.items():
@@ -163,12 +297,51 @@ def main() -> None:
         help="numeric mode of the workload build: 'exact' (default, "
              "bit-identical hot paths) or 'fast' (float32 kernels under "
              "the FAST_CONTRACT accuracy budget)")
+    parser.add_argument(
+        "--transport", choices=sorted(TRANSPORT_MODES),
+        default=TRANSPORT_PICKLE,
+        help="worker payload transport: 'pickle' (default), 'shm' "
+             "(shared-memory segments) or 'auto' (shm when available)")
+    parser.add_argument(
+        "--steal", action="store_true",
+        help="claim edge tasks from the shared work-stealing queue instead "
+             "of static round-robin shards")
+    parser.add_argument(
+        "--regions", type=int, default=1,
+        help="cloud-replay regions for the hierarchical region->global "
+             "merge (default: 1 = flat; 0 = one region per fleet worker)")
+    parser.add_argument(
+        "--scale-cameras", type=int, default=0, metavar="N",
+        help="also run the synthetic N-camera scale comparison (no "
+             "workload rendering): pickle/static baseline vs the "
+             "configured scale-out path, parity-checked")
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail unless the scale comparison's speedup vs the serial "
+             "reference reaches this factor (default: 0 = report only; "
+             "the CI fleet-scaling lane gates on it)")
+    parser.add_argument(
+        "--json-out", metavar="PATH",
+        help="write the sweep tables + scale comparison as a JSON artifact")
+    parser.add_argument(
+        "--store", metavar="PATH",
+        help="round-trip every sweep report through the persistent SQLite "
+             "result store at PATH and verify its content-integrity hashes")
     arguments = parser.parse_args()
     if arguments.build_workers < 0:
         parser.error("--build-workers must be >= 0 (0 = auto)")
+    if arguments.regions < 0:
+        parser.error("--regions must be >= 0 (0 = auto)")
+    if arguments.scale_cameras < 0:
+        parser.error("--scale-cameras must be >= 0")
     configure_logging()
-    config = SystemConfig(precision=arguments.precision)
+    config = SystemConfig(precision=arguments.precision,
+                          fleet_transport=arguments.transport,
+                          fleet_stealing=arguments.steal,
+                          fleet_regions=arguments.regions)
     print(f"Numeric contract: {config.contract.describe()}")
+    print(f"Scale-out knobs: transport={config.fleet_transport} "
+          f"steal={config.fleet_stealing} regions={config.fleet_regions}")
     mode = DeploymentMode.IFRAME_EDGE_CLOUD_NN
 
     print(f"Preparing {NUM_CAMERAS}-camera fleet "
@@ -201,6 +374,35 @@ def main() -> None:
                   f"(<= {TOLERANCE:g}).\n")
     print("Aggregate throughput is monotonically non-decreasing in the "
           "number of edge servers for every placement policy.")
+
+    comparison = None
+    if arguments.scale_cameras:
+        comparison = run_scale_comparison(
+            arguments.scale_cameras, max(EDGE_COUNTS),
+            max(worker_counts), config, arguments.min_speedup)
+
+    if arguments.store:
+        store_reports(arguments.store, baseline)
+
+    if arguments.json_out:
+        artifact = {
+            "config": {
+                "precision": config.precision,
+                "transport": config.fleet_transport,
+                "stealing": config.fleet_stealing,
+                "regions": config.fleet_regions,
+                "worker_counts": worker_counts,
+            },
+            "sweep": [
+                {"policy": policy, "num_edges": num_edges,
+                 **report.as_dict()}
+                for (policy, num_edges), report in sorted(baseline.items())
+            ],
+            "scale_comparison": comparison,
+        }
+        with open(arguments.json_out, "w", encoding="utf-8") as stream:
+            json.dump(artifact, stream, indent=2, sort_keys=True)
+        print(f"Wrote sweep artifact to {arguments.json_out}.")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ from .fleet import (CameraJob, FleetOrchestrator, FleetReport, JobOutcome,
                     PlacementPolicy, TierReport, sweep_edge_counts)
 from .node import (ComputeNode, default_camera_node, default_cloud_node,
                    default_edge_node)
-from .resultdb import ResultDatabase, ResultRecord
+from .resultdb import ResultDatabase, ResultRecord, SQLiteResultStore
 from .storage import EdgeStorage
 
 __all__ = [
@@ -16,5 +16,5 @@ __all__ = [
     "CameraJob", "FleetOrchestrator", "FleetReport", "JobOutcome",
     "PlacementPolicy", "TierReport", "sweep_edge_counts",
     "ComputeNode", "default_camera_node", "default_cloud_node", "default_edge_node",
-    "ResultDatabase", "ResultRecord", "EdgeStorage",
+    "ResultDatabase", "ResultRecord", "SQLiteResultStore", "EdgeStorage",
 ]

@@ -30,6 +30,25 @@ DEFAULT_CAMERA_EDGE_BANDWIDTH_MBPS = 100.0
 #: (i.e., 300x300)").
 NN_INPUT_RESOLUTION = (300, 300)
 
+#: How the multiprocess fleet ships array payloads to its workers (see
+#: :mod:`repro.parallel.transport`).  ``"pickle"`` is the original pool
+#: channel, ``"shm"`` uses ``multiprocessing.shared_memory`` segments, and
+#: ``"auto"`` picks shared memory when the platform supports it.  The
+#: constants live here (not in the parallel package) so config validation
+#: never imports the execution layer.
+TRANSPORT_PICKLE = "pickle"
+TRANSPORT_SHM = "shm"
+TRANSPORT_AUTO = "auto"
+TRANSPORT_MODES = (TRANSPORT_PICKLE, TRANSPORT_SHM, TRANSPORT_AUTO)
+
+
+def validate_transport(mode: str) -> str:
+    """Validate a ``fleet_transport`` setting, returning it unchanged."""
+    if mode not in TRANSPORT_MODES:
+        raise ConfigurationError(
+            f"fleet_transport must be one of {TRANSPORT_MODES}, got {mode!r}")
+    return mode
+
 
 def default_precision() -> str:
     """The default numeric precision mode.
@@ -160,6 +179,29 @@ class SystemConfig:
             the results deterministically by dataset — byte-identical
             cache artifacts and equal workload objects either way.
             ``0`` means "auto" (resolved via :func:`available_cpu_count`).
+        fleet_transport: How the multiprocess fleet moves array payloads
+            across the pool boundary (see :mod:`repro.parallel.transport`).
+            ``"pickle"`` (the default) serialises through the pool channel
+            exactly as before; ``"shm"`` packs the per-job arrays into
+            ``multiprocessing.shared_memory`` segments so the hot loop
+            stops pickling numpy data; ``"auto"`` resolves to shared
+            memory when the platform supports it.  Every mode produces
+            bit-identical reports — the transport moves bytes, never
+            changes them.
+        fleet_stealing: Whether pool workers *claim* edge tasks from a
+            shared longest-first queue instead of taking a static
+            round-robin shard (see :mod:`repro.parallel.stealing`).
+            ``False`` (the default) keeps the static shards.  Stealing
+            rebalances skewed fleets across workers; the report stays
+            bit-identical because results merge by edge index, and every
+            run records a replayable :class:`~repro.parallel.StealLog`.
+        fleet_regions: Regions of the hierarchical cloud replay.  ``1``
+            (the default) keeps the single-pass replay; larger values
+            split the arrival-order merge into per-region sorts plus a
+            global k-way merge, so the parent's replay stops being the
+            serial bottleneck at fleet scale.  ``0`` means "auto" (one
+            region per fleet worker).  Reports are bit-identical at any
+            region count.
         precision: Numeric mode of the hot paths.  ``"exact"`` (the
             default) keeps every optimised kernel bit-identical to the seed
             implementation; ``"fast"`` routes NN inference and the motion
@@ -180,6 +222,9 @@ class SystemConfig:
     nn_batch_size: int = 16
     fleet_workers: int = 1
     build_workers: int = 1
+    fleet_transport: str = TRANSPORT_PICKLE
+    fleet_stealing: bool = False
+    fleet_regions: int = 1
     precision: str = field(default_factory=default_precision)
     seed: int = 20200601
 
@@ -201,6 +246,11 @@ class SystemConfig:
             self.fleet_workers, "fleet_workers"))
         object.__setattr__(self, "build_workers", resolve_worker_count(
             self.build_workers, "build_workers"))
+        validate_transport(self.fleet_transport)
+        if self.fleet_regions < 0:
+            raise ConfigurationError(
+                f"fleet_regions must be >= 0 (0 = auto), "
+                f"got {self.fleet_regions}")
         validate_precision(self.precision)
 
     @property
@@ -220,6 +270,9 @@ class SystemConfig:
             nn_batch_size=self.nn_batch_size,
             fleet_workers=self.fleet_workers,
             build_workers=self.build_workers,
+            fleet_transport=self.fleet_transport,
+            fleet_stealing=self.fleet_stealing,
+            fleet_regions=self.fleet_regions,
             precision=self.precision,
             seed=self.seed,
         )

@@ -1,0 +1,159 @@
+"""SQLite result store: API parity, integrity hashes, concurrent writers.
+
+``SQLiteResultStore`` mirrors the in-memory ``ResultDatabase`` API, adds a
+fleet-report round trip, and stamps every row with a content hash that
+``verify_integrity`` re-derives — so silent corruption (or out-of-band
+edits) is detectable.  WAL journalling plus a busy timeout must let two
+processes write the same file concurrently without losing rows.
+"""
+
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.cluster import ResultDatabase, SQLiteResultStore
+from repro.cluster.fleet import CameraJob, FleetOrchestrator
+from repro.errors import ClusterError
+
+
+def make_store(tmp_path, name="results.sqlite"):
+    return SQLiteResultStore(str(tmp_path / name))
+
+
+def populate(store):
+    store.record("v", 0, {"car"})
+    store.record("v", 5, set())
+    store.record("w", 0, {"person", "car"})
+
+
+def small_report(seed=3):
+    jobs = [CameraJob(camera=f"cam-{index}", video=f"vid-{index % 2}",
+                      num_frames=120, frames_for_inference=8,
+                      edge_seconds=0.5 + index * 0.1, cloud_seconds=0.3,
+                      camera_edge_bytes=500_000, edge_cloud_bytes=200_000)
+            for index in range(4)]
+    return FleetOrchestrator(jobs, num_edge_servers=2, policy="round-robin",
+                             arrival_jitter_seconds=2.0, seed=seed).run()
+
+
+class TestApiMirrorsResultDatabase:
+    def test_same_answers_as_in_memory(self, tmp_path):
+        store, reference = make_store(tmp_path), ResultDatabase()
+        for database in (store, reference):
+            populate(database)
+        assert store.labels_for("v", 0) == reference.labels_for("v", 0)
+        assert store.labels_for("v", 1) is None
+        assert ([row.frame_index for row in store.records_for_video("v")]
+                == [row.frame_index
+                    for row in reference.records_for_video("v")])
+        assert store.frames_with_label("w", "person") == [0]
+        assert store.video_names() == reference.video_names()
+        assert len(store) == len(reference) == 3
+
+    def test_record_overwrites_and_rejects_bad_frames(self, tmp_path):
+        store = make_store(tmp_path)
+        store.record("v", 0, {"car"})
+        store.record("v", 0, {"bus"})
+        assert store.labels_for("v", 0) == frozenset({"bus"})
+        assert len(store) == 1
+        with pytest.raises(ClusterError):
+            store.record("v", -1, {"car"})
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.sqlite"
+        with SQLiteResultStore(str(path)) as store:
+            populate(store)
+        with SQLiteResultStore(str(path)) as reopened:
+            assert len(reopened) == 3
+            assert reopened.labels_for("w", 0) == frozenset({"person", "car"})
+            assert reopened.verify_integrity() == []
+
+    def test_clear_empties_every_table(self, tmp_path):
+        store = make_store(tmp_path)
+        populate(store)
+        store.store_fleet_report("run-a", small_report())
+        store.clear()
+        assert len(store) == 0
+        assert store.run_ids() == []
+        assert store.outcomes_for_run("run-a") == []
+
+
+class TestFleetReportRoundTrip:
+    def test_store_and_read_back(self, tmp_path):
+        store = make_store(tmp_path)
+        report = small_report()
+        run_hash = store.store_fleet_report("run-a", report)
+        assert store.run_ids() == ["run-a"]
+        summary = store.report_summary("run-a")
+        assert summary["metrics"] == report.as_dict()
+        assert summary["assignments"] == report.assignments
+        outcomes = store.outcomes_for_run("run-a")
+        assert [camera for camera, *_ in outcomes] == sorted(
+            outcome.job.camera for outcome in report.outcomes)
+        assert isinstance(run_hash, str) and len(run_hash) == 64
+
+    def test_restore_replaces_atomically(self, tmp_path):
+        store = make_store(tmp_path)
+        store.store_fleet_report("run-a", small_report(seed=3))
+        first = store.report_summary("run-a")
+        store.store_fleet_report("run-a", small_report(seed=9))
+        second = store.report_summary("run-a")
+        assert store.run_ids() == ["run-a"]
+        assert first != second
+        assert store.verify_integrity() == []
+
+    def test_missing_run_is_none(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.report_summary("nope") is None
+        assert store.outcomes_for_run("nope") == []
+
+
+class TestIntegrity:
+    def test_clean_store_verifies(self, tmp_path):
+        store = make_store(tmp_path)
+        populate(store)
+        store.store_fleet_report("run-a", small_report())
+        assert store.verify_integrity() == []
+
+    def test_tampered_row_is_reported(self, tmp_path):
+        path = tmp_path / "tamper.sqlite"
+        with SQLiteResultStore(str(path)) as store:
+            populate(store)
+        raw = sqlite3.connect(str(path))
+        with raw:
+            raw.execute("UPDATE results SET labels = '[\"forged\"]' "
+                        "WHERE video_name = 'v' AND frame_index = 0")
+        raw.close()
+        with SQLiteResultStore(str(path)) as store:
+            problems = store.verify_integrity()
+        assert len(problems) == 1
+        assert "v" in problems[0]
+
+
+def _hammer(path, lane, count):
+    with SQLiteResultStore(path) as store:
+        for index in range(count):
+            store.record(f"video-{lane}", index, {f"label-{lane}-{index}"})
+
+
+class TestConcurrentWriters:
+    def test_two_processes_interleave_without_loss(self, tmp_path):
+        path = str(tmp_path / "shared.sqlite")
+        SQLiteResultStore(path).close()  # create schema up front
+        count = 40
+        context = multiprocessing.get_context()
+        workers = [context.Process(target=_hammer, args=(path, lane, count))
+                   for lane in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        with SQLiteResultStore(path) as store:
+            assert len(store) == 2 * count
+            for lane in range(2):
+                frames = [row.frame_index
+                          for row in store.records_for_video(f"video-{lane}")]
+                assert frames == list(range(count))
+            assert store.verify_integrity() == []

@@ -1,0 +1,126 @@
+"""Shard transport: handle round-trips, SHM lifecycle, fallback resolution."""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import (TRANSPORT_AUTO, TRANSPORT_MODES, TRANSPORT_PICKLE,
+                          TRANSPORT_SHM, validate_transport)
+from repro.errors import ConfigurationError
+from repro.parallel import (PickleTransport, SharedMemoryTransport,
+                            active_segment_names, make_transport, open_handle,
+                            resolve_transport, shm_available, transport)
+
+
+def sample_arrays():
+    return {
+        "offsets": np.arange(5, dtype=np.float64) * 1.5,
+        "bytes": np.array([10, 20, 30], dtype=np.int64),
+    }
+
+
+def assert_bundle_equal(arrays, expected):
+    assert set(arrays) == set(expected)
+    for name, array in expected.items():
+        np.testing.assert_array_equal(arrays[name], array)
+        assert arrays[name].dtype == array.dtype
+
+
+class TestModeValidation:
+    def test_known_modes(self):
+        for mode in TRANSPORT_MODES:
+            validate_transport(mode)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_transport("carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            make_transport("carrier-pigeon")
+
+    def test_resolution(self):
+        assert resolve_transport(TRANSPORT_PICKLE) == TRANSPORT_PICKLE
+        if shm_available():
+            assert resolve_transport(TRANSPORT_SHM) == TRANSPORT_SHM
+            assert resolve_transport(TRANSPORT_AUTO) == TRANSPORT_SHM
+        else:
+            assert resolve_transport(TRANSPORT_AUTO) == TRANSPORT_PICKLE
+
+    def test_make_transport_types(self):
+        assert isinstance(make_transport(TRANSPORT_PICKLE), PickleTransport)
+        if shm_available():
+            assert isinstance(make_transport(TRANSPORT_SHM),
+                              SharedMemoryTransport)
+
+
+class TestPickleTransport:
+    def test_publish_round_trip(self):
+        expected = sample_arrays()
+        with transport(TRANSPORT_PICKLE) as channel:
+            assert not channel.is_shared
+            handle = channel.publish(expected)
+            assert handle.is_inline
+            with open_handle(handle) as arrays:
+                assert_bundle_equal(arrays, expected)
+
+    def test_handle_pickles(self):
+        with transport(TRANSPORT_PICKLE) as channel:
+            handle = channel.publish(sample_arrays())
+            clone = pickle.loads(pickle.dumps(handle))
+            with open_handle(clone) as arrays:
+                assert_bundle_equal(arrays, sample_arrays())
+
+    def test_attach_returns_arrays(self):
+        with transport(TRANSPORT_PICKLE) as channel:
+            handle = channel.publish(sample_arrays())
+            assert_bundle_equal(channel.attach(handle), sample_arrays())
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared memory here")
+class TestSharedMemoryTransport:
+    def test_publish_round_trip_and_cleanup(self):
+        expected = sample_arrays()
+        with transport(TRANSPORT_SHM) as channel:
+            assert channel.is_shared
+            handle = channel.publish(expected)
+            assert not handle.is_inline
+            with open_handle(handle) as arrays:
+                assert_bundle_equal(arrays, expected)
+            assert active_segment_names()
+        assert not active_segment_names()
+
+    def test_allocate_then_write_then_attach(self):
+        with transport(TRANSPORT_SHM) as channel:
+            handle = channel.allocate({"values": ("float64", (4,))})
+            with open_handle(handle) as arrays:
+                arrays["values"][:] = [1.0, 2.0, 3.0, 4.0]
+            read_back = channel.attach(handle)
+            np.testing.assert_array_equal(read_back["values"],
+                                          [1.0, 2.0, 3.0, 4.0])
+
+    def test_handle_pickles_and_opens_in_child(self):
+        expected = sample_arrays()
+        context = multiprocessing.get_context()
+        with transport(TRANSPORT_SHM) as channel:
+            handle = channel.publish(expected)
+            with context.Pool(1) as pool:
+                total = pool.apply(_child_sum, (handle,))
+            assert total == pytest.approx(
+                float(sum(array.sum() for array in expected.values())))
+
+    def test_cleanup_survives_live_views(self):
+        # numpy views exported from the mapped buffer normally make
+        # SharedMemory.close() raise BufferError; cleanup must still
+        # unlink the segment (no /dev/shm leak) without raising.
+        channel = make_transport(TRANSPORT_SHM)
+        handle = channel.publish(sample_arrays())
+        arrays = channel.attach(handle)
+        assert arrays["offsets"].shape == (5,)
+        channel.cleanup()
+        assert not active_segment_names()
+
+
+def _child_sum(handle):
+    with open_handle(handle) as arrays:
+        return float(sum(array.sum() for array in arrays.values()))
