@@ -332,6 +332,57 @@ class TestFaultPlaneOverhead:
         assert entry.value > 0
 
 
+class TestAdaptiveOverhead:
+    """The adaptive controller must be free when not installed.
+
+    Mirrors ``faults.recovery_overhead``: the same fed streaming workload
+    runs on the seed path and with an ``AdaptiveConfig`` installed but
+    idle (scene-less chunks never reach the drift monitor), and the ratio
+    is recorded as the gated ``adapt.overhead`` entry (~1.0x).
+    """
+
+    NUM_CAMERAS = 8
+    NUM_CHUNKS = 4
+
+    def _run_service(self, with_controller: bool):
+        from repro.adapt import AdaptiveConfig
+        from repro.service import ChunkFeeder, FrameChunk, StreamingService
+
+        service = StreamingService(
+            num_edge_servers=2,
+            adaptive=AdaptiveConfig() if with_controller else None)
+        chunks = [FrameChunk(num_frames=30, frames_for_inference=3,
+                             edge_seconds=0.05, cloud_seconds=0.02,
+                             camera_edge_bytes=500_000,
+                             edge_cloud_bytes=60_000)
+                  for _ in range(self.NUM_CHUNKS)]
+        for index in range(self.NUM_CAMERAS):
+            camera = f"bench-cam{index}"
+            service.open_session(camera)
+            ChunkFeeder(service, camera, list(chunks),
+                        period_seconds=0.2).start(at=0.01 * index)
+        service.drain()
+        return service
+
+    def test_idle_controller_is_free(self, benchmark, hotpaths_report):
+        plain = self._run_service(with_controller=False)
+        adaptive = self._run_service(with_controller=True)
+        # An idle controller must not change the simulation at all.
+        assert plain.fleet_report().parity_mismatches(
+            adaptive.fleet_report(), 1e-6) == []
+        assert adaptive.adaptive.retunes_applied == 0
+        assert adaptive.status().retune_counters == {}
+        without = min_time(lambda: self._run_service(with_controller=False),
+                           repeats=3)
+        with_controller = min_time(
+            lambda: self._run_service(with_controller=True), repeats=3)
+        entry = hotpaths_report.record_speedup(
+            "adapt.overhead", without, with_controller,
+            cameras=self.NUM_CAMERAS, chunks=self.NUM_CHUNKS)
+        benchmark(self._run_service, True)
+        assert entry.value > 0
+
+
 class TestFleetScaleOut:
     """Scale-out wall-clock ratios of the multiprocess fleet.
 

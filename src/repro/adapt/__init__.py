@@ -1,0 +1,19 @@
+"""Online adaptive tuning: drift detection + re-tuning in the serving path.
+
+See :mod:`repro.adapt.controller` for the architecture overview.
+"""
+
+from .controller import (AdaptiveConfig, AdaptiveTuningController,
+                         DriftMonitor, RetuneDecision, retune_history)
+from .detectors import (DriftSignal, PageHinkleyDetector,
+                        WindowedZScoreDetector)
+from .signals import (REFERENCE_SCENECUT, ChunkScene, SceneStats,
+                      chunk_scene, mean_luma)
+
+__all__ = [
+    "AdaptiveConfig", "AdaptiveTuningController", "DriftMonitor",
+    "RetuneDecision", "retune_history",
+    "DriftSignal", "PageHinkleyDetector", "WindowedZScoreDetector",
+    "REFERENCE_SCENECUT", "ChunkScene", "SceneStats", "chunk_scene",
+    "mean_luma",
+]

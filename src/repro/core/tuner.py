@@ -88,8 +88,19 @@ class ConfigurationResult:
 class TuningResult:
     """Outcome of a full grid search.
 
+    Tie-break contract: configurations with exactly equal F1 scores rank
+    in **grid order** — the order :meth:`TuningGrid.configurations`
+    yields them (GOP-major, scenecut-minor).  ``best`` is the *first*
+    configuration in grid order among the F1 maxima (``max`` keeps the
+    first maximum) and :meth:`leaderboard` preserves grid order within
+    every tied group (``sorted`` is stable).  This is deliberate and
+    pinned by tests: a deterministic tie-break is what lets the online
+    retune controller recognise a tie-equal "winner" and skip the retune
+    instead of churning sessions.
+
     Attributes:
-        best: The configuration with the highest F1 score.
+        best: The configuration with the highest F1 score (first in grid
+            order on ties).
         results: Every configuration's result, in grid order.
         camera_name: Name of the tuned camera/dataset.
     """
@@ -104,9 +115,20 @@ class TuningResult:
         return self.best.parameters
 
     def leaderboard(self, top: int = 5) -> List[ConfigurationResult]:
-        """The ``top`` configurations ordered by descending F1 score."""
+        """The ``top`` configurations by descending F1 score.
+
+        Ties keep grid order (stable sort) — see the class docstring.
+        """
         ranked = sorted(self.results, key=lambda result: result.score.f1, reverse=True)
         return ranked[:top]
+
+    def score_of(self, parameters: EncoderParameters
+                 ) -> Optional[ConfigurationResult]:
+        """The result of one grid configuration (``None`` if not in it)."""
+        for result in self.results:
+            if result.parameters == parameters:
+                return result
+        return None
 
     def as_table(self) -> List[Dict[str, float]]:
         """Tabular view of the grid (used by the tuning example)."""
@@ -171,6 +193,9 @@ class SemanticEncoderTuner:
             score = evaluate_sampling(timeline, keyframes)
             results.append(ConfigurationResult(parameters=parameters, score=score,
                                                keyframe_indices=tuple(keyframes)))
+        # `max` keeps the first maximum, so F1 ties resolve to the first
+        # configuration in grid order — the documented tie-break contract
+        # (see TuningResult).
         best = max(results, key=lambda result: result.score.f1)
         _LOGGER.debug("tuned %s: best %s (F1=%.3f, acc=%.3f, SS=%.4f)",
                       camera_name or "camera", best.parameters.describe(),
@@ -199,19 +224,69 @@ class SemanticEncoderTuner:
                                          camera_name or video.metadata.name)
 
 
+@dataclass(frozen=True)
+class RetuneRecord:
+    """One auditable version of a camera's tuned parameters.
+
+    Every :meth:`ParameterLookupTable.store` appends one of these, so the
+    table is not just "current parameters per camera" but the full
+    re-tune history the online controller, ``ServiceStatus`` and the
+    recovery traces surface.
+
+    Attributes:
+        version: 1-based version number within the camera's history.
+        time: Virtual time of the store (``0.0`` for offline tunes).
+        trigger: Why the parameters changed (``"store"`` for a plain
+            offline store; the controller uses its drift trigger string).
+        old: Parameters replaced (``None`` for the first version).
+        new: Parameters now in force.
+        score: F1 score the new parameters achieved on the tuning window
+            (``nan`` when not scored).
+    """
+
+    version: int
+    time: float
+    trigger: str
+    old: Optional[EncoderParameters]
+    new: EncoderParameters
+    score: float = float("nan")
+
+    def line(self) -> str:
+        """Deterministic one-line rendering (diffable across reruns)."""
+        old = self.old.describe() if self.old is not None else "none"
+        score = "nan" if self.score != self.score else f"{self.score:.6f}"
+        return (f"t={self.time:.6f} v{self.version} trigger={self.trigger} "
+                f"old=[{old}] new=[{self.new.describe()}] f1={score}")
+
+
 class ParameterLookupTable:
     """The per-camera lookup table of tuned parameters (Section IV).
 
     The operator tunes each camera offline and stores the winning parameters
     here; the online path reads them back when configuring the camera.
+
+    The table is *versioned*: every store appends a :class:`RetuneRecord`
+    ``(time, trigger, old, new, score)`` to the camera's history, so an
+    online re-tune is auditable after the fact (:meth:`history`,
+    :meth:`history_lines`).  Plain offline usage is unchanged — the extra
+    metadata defaults keep old call sites valid.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[str, EncoderParameters] = {}
+        self._history: Dict[str, List[RetuneRecord]] = {}
 
-    def store(self, camera_name: str, parameters: EncoderParameters) -> None:
-        """Record the tuned parameters of a camera."""
+    def store(self, camera_name: str, parameters: EncoderParameters, *,
+              time: float = 0.0, trigger: str = "store",
+              score: float = float("nan")) -> RetuneRecord:
+        """Record the tuned parameters of a camera (appends a version)."""
+        records = self._history.setdefault(camera_name, [])
+        record = RetuneRecord(
+            version=len(records) + 1, time=float(time), trigger=str(trigger),
+            old=self._entries.get(camera_name), new=parameters, score=score)
+        records.append(record)
         self._entries[camera_name] = parameters
+        return record
 
     def lookup(self, camera_name: str) -> EncoderParameters:
         """Fetch the tuned parameters of a camera."""
@@ -219,6 +294,24 @@ class ParameterLookupTable:
             return self._entries[camera_name]
         except KeyError as exc:
             raise TuningError(f"no tuned parameters stored for {camera_name!r}") from exc
+
+    def history(self, camera_name: str) -> Tuple[RetuneRecord, ...]:
+        """The camera's full version history (empty if never stored)."""
+        return tuple(self._history.get(camera_name, ()))
+
+    def version(self, camera_name: str) -> int:
+        """Current version number of a camera (``0`` if never stored)."""
+        return len(self._history.get(camera_name, ()))
+
+    def history_lines(self) -> List[str]:
+        """All cameras' histories as deterministic one-line records.
+
+        Cameras sort lexicographically; records stay in version order.
+        The chaos/drift soaks diff this output verbatim across reruns.
+        """
+        return [f"camera={name} {record.line()}"
+                for name in sorted(self._history)
+                for record in self._history[name]]
 
     def __contains__(self, camera_name: str) -> bool:
         return camera_name in self._entries

@@ -113,12 +113,18 @@ class StreamStall:
 class WorkerKill:
     """A pool worker simulating ``edge_index`` dies mid-run.
 
-    Honoured only by the multiprocess fleet path
-    (:mod:`repro.parallel.fleet`): the worker process handed this edge's
-    shard exits hard, and the parent re-executes the shard inline —
-    bit-identical, just slower.  The serial path ignores worker kills
-    (there is no worker to kill), which is exactly what the
-    serial == parallel parity contract requires.
+    Honoured by the multiprocess fan-out paths:
+
+    * the fleet (:mod:`repro.parallel.fleet`) — the worker process handed
+      this edge's shard exits hard, and the parent re-executes the shard
+      inline, bit-identical, just slower;
+    * the workload builder (:mod:`repro.parallel.workloads`) — the worker
+      picking up the build task at index ``edge_index`` exits hard before
+      writing anything, and the parent's serial assembly pass rebuilds
+      the lost artifact.
+
+    The serial paths ignore worker kills (there is no worker to kill),
+    which is exactly what the serial == parallel parity contract requires.
     """
 
     edge_index: int

@@ -17,8 +17,8 @@ from .ingest import StreamIngest
 from .service import StreamingService
 from .session import (FrameChunk, SessionState, StreamSession, TenantPolicy,
                       chunk_camera_job)
-from .status import (ServiceStatus, SessionSnapshot, StationSnapshot,
-                     snapshot_session, snapshot_station)
+from .status import (HealthSample, ServiceStatus, SessionSnapshot,
+                     StationSnapshot, snapshot_session, snapshot_station)
 
 __all__ = [
     "ClockDriver", "RealTimeClock", "VirtualClock",
@@ -27,6 +27,6 @@ __all__ = [
     "StreamingService",
     "FrameChunk", "SessionState", "StreamSession", "TenantPolicy",
     "chunk_camera_job",
-    "ServiceStatus", "SessionSnapshot", "StationSnapshot",
+    "HealthSample", "ServiceStatus", "SessionSnapshot", "StationSnapshot",
     "snapshot_session", "snapshot_station",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+from ..codec.gop import EncoderParameters
 from ..errors import AdmissionError, BackpressureError, ServiceError
 from .session import FrameChunk, SessionState, StreamSession, TenantPolicy
 
@@ -110,6 +111,12 @@ class StreamIngest:
         #: degraded tier (the fault driver records it in the trace).
         self.on_session_degraded: Optional[
             Callable[[StreamSession], None]] = None
+        #: Optional observer fired after every *accepted* push whose chunk
+        #: carries a scene payload (the adaptive controller's feed).  Runs
+        #: after the chunk is submitted, so a triggered retune only
+        #: affects later chunks.
+        self.on_chunk_scene: Optional[
+            Callable[[StreamSession, FrameChunk], None]] = None
 
     # ------------------------------------------------------------------ #
     # Tenants
@@ -263,6 +270,8 @@ class StreamIngest:
         session.camera_edge_bytes_pushed += chunk.camera_edge_bytes
         session.edge_cloud_bytes_pushed += chunk.edge_cloud_bytes
         self._submit_chunk(session, chunk)
+        if self.on_chunk_scene is not None and chunk.scene is not None:
+            self.on_chunk_scene(session, chunk)
 
     def close_session(self, session_id: str,
                       reason: str = "client") -> StreamSession:
@@ -286,14 +295,29 @@ class StreamIngest:
         return session
 
     def retune_session(self, session_id: str, *,
-                       max_pending_chunks: int) -> StreamSession:
-        """Adjust a live session's backpressure bound without dropping it."""
-        if max_pending_chunks < 1:
+                       max_pending_chunks: Optional[int] = None,
+                       parameters: Optional[EncoderParameters] = None
+                       ) -> StreamSession:
+        """Adjust a live session without dropping it.
+
+        Either (or both) of the session's backpressure bound and its
+        deployed encoder parameters can be retuned; a parameter retune
+        bumps ``session.parameter_version``.  The adaptive controller
+        applies confirmed drift winners through exactly this path.
+        """
+        if max_pending_chunks is None and parameters is None:
+            raise ServiceError(
+                "retune_session needs max_pending_chunks and/or parameters")
+        if max_pending_chunks is not None and max_pending_chunks < 1:
             raise ServiceError("max_pending_chunks must be >= 1")
         session = self._session(session_id)
         if session.state is SessionState.CLOSED:
             raise ServiceError(f"session {session_id!r} is closed")
-        session.max_pending_chunks = int(max_pending_chunks)
+        if max_pending_chunks is not None:
+            session.max_pending_chunks = int(max_pending_chunks)
+        if parameters is not None:
+            session.parameters = parameters
+            session.parameter_version += 1
         return session
 
     def on_chunk_complete(self, session: StreamSession,

@@ -29,11 +29,14 @@ therefore every report field) is identical under any clock driver.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
+from ..adapt.controller import AdaptiveConfig, AdaptiveTuningController
 from ..cluster.fleet import (CameraJob, FleetReport, JobOutcome,
                              PlacementPolicy, latency_percentiles_of,
                              tier_report)
+from ..codec.gop import EncoderParameters
 from ..config import SystemConfig
 from ..dataflow.scheduler import EventScheduler, ServiceStation
 from ..errors import ServiceError
@@ -46,8 +49,8 @@ from ..perf import Stopwatch, section
 from .clock import ClockDriver, RealTimeClock, VirtualClock
 from .ingest import StreamIngest
 from .session import FrameChunk, SessionState, StreamSession, TenantPolicy
-from .status import (ServiceStatus, SessionSnapshot, StationSnapshot,
-                     snapshot_session, snapshot_station)
+from .status import (HealthSample, ServiceStatus, SessionSnapshot,
+                     StationSnapshot, snapshot_session, snapshot_station)
 
 
 class _ChunkRun:
@@ -92,6 +95,16 @@ class StreamingService:
         degraded_tenant: Overloaded admissions are shed to this tenant
             tier instead of raising ``AdmissionError`` (see
             :meth:`StreamIngest.open_session`).
+        adaptive: Optional :class:`~repro.adapt.AdaptiveConfig`.  Setting
+            it installs the online :class:`AdaptiveTuningController` —
+            accepted pushes carrying a scene payload feed per-session
+            drift detectors, and confirmed drifts re-tune the session's
+            encoder parameters through :meth:`retune_session`.  Without
+            it (the default) no controller exists and the serving path
+            is bit-identical to the seed.
+        health_history_limit: Ring size of the status health history
+            (samples are only captured when counters are non-empty, so
+            clean runs keep the ring empty).
     """
 
     def __init__(self, config: Optional[SystemConfig] = None,
@@ -103,7 +116,9 @@ class StreamingService:
                  tenants: Sequence[TenantPolicy] = (),
                  faults: Optional[FaultPlan] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 degraded_tenant: Optional[TenantPolicy] = None) -> None:
+                 degraded_tenant: Optional[TenantPolicy] = None,
+                 adaptive: Optional[AdaptiveConfig] = None,
+                 health_history_limit: int = 64) -> None:
         if num_edge_servers < 1:
             raise ServiceError("num_edge_servers must be >= 1")
         if edge_workers < 1:
@@ -153,6 +168,14 @@ class StreamingService:
                 resilience if resilience is not None else ResilienceConfig())
             self.ingest.on_session_degraded = (
                 self._fault_driver.on_session_degraded)
+        self.adaptive: Optional[AdaptiveTuningController] = None
+        if adaptive is not None:
+            self.adaptive = AdaptiveTuningController(self, adaptive)
+            self.ingest.on_chunk_scene = self.adaptive.observe_push
+        if health_history_limit < 1:
+            raise ServiceError("health_history_limit must be >= 1")
+        self._health_history: Deque[HealthSample] = deque(
+            maxlen=int(health_history_limit))
 
     # ------------------------------------------------------------------ #
     # Session API (delegated to the ingest front end)
@@ -173,10 +196,15 @@ class StreamingService:
         return self.ingest.close_session(session_id, reason=reason)
 
     def retune_session(self, session_id: str, *,
-                       max_pending_chunks: int) -> StreamSession:
-        """Adjust a live session's backpressure bound without dropping it."""
+                       max_pending_chunks: Optional[int] = None,
+                       parameters: Optional[EncoderParameters] = None
+                       ) -> StreamSession:
+        """Retune a live session's backpressure bound and/or encoder
+        parameters without dropping it (see
+        :meth:`StreamIngest.retune_session`)."""
         return self.ingest.retune_session(
-            session_id, max_pending_chunks=max_pending_chunks)
+            session_id, max_pending_chunks=max_pending_chunks,
+            parameters=parameters)
 
     def register_tenant(self, policy: TenantPolicy) -> None:
         """Add or replace a tenant policy; existing sessions are untouched."""
@@ -268,10 +296,30 @@ class StreamingService:
                     {index: breaker.state.value for index, breaker
                      in self._fault_driver.breakers.items()}
                     if self._fault_driver is not None else {}),
-                fault_counters=(stats.as_dict()
-                                if (stats := self.fault_stats()) is not None
-                                else {}),
+                fault_counters=(fault_counters := (
+                    stats.as_dict()
+                    if (stats := self.fault_stats()) is not None else {})),
+                retune_counters=(retune_counters := (
+                    self.adaptive.counters()
+                    if self.adaptive is not None else {})),
+                retune_history=tuple(
+                    self.adaptive.history_lines()
+                    if self.adaptive is not None else ()),
+                health_history=self._sample_health(
+                    horizon, {**fault_counters, **retune_counters}),
             )
+
+    def _sample_health(self, virtual_now: float,
+                       counters: Dict[str, int]) -> tuple:
+        """Fold one status capture into the bounded health-history ring.
+
+        Only non-empty counter sets produce samples, so a clean run's
+        snapshots carry an empty history — exactly the seed's shape.
+        """
+        if counters:
+            self._health_history.append(HealthSample(
+                virtual_now=virtual_now, counters=dict(counters)))
+        return tuple(self._health_history)
 
     def fleet_report(self) -> FleetReport:
         """Fold the service's streams into a batch-comparable report.

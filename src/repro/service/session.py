@@ -21,6 +21,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..adapt.signals import ChunkScene
+from ..codec.gop import EncoderParameters
 from ..config import SystemConfig
 from ..errors import ServiceError
 
@@ -47,6 +49,10 @@ class FrameChunk:
         cloud_seconds: Compute seconds charged to the cloud tier.
         camera_edge_bytes: Bytes moved camera -> edge (LAN).
         edge_cloud_bytes: Bytes moved edge -> cloud (WAN).
+        scene: Optional per-chunk scene payload
+            (:class:`~repro.adapt.signals.ChunkScene`) feeding the online
+            drift detectors.  ``None`` (the default) keeps the chunk
+            invisible to the adaptive controller — the seed path.
     """
 
     num_frames: int
@@ -55,6 +61,7 @@ class FrameChunk:
     cloud_seconds: float
     camera_edge_bytes: int
     edge_cloud_bytes: int
+    scene: Optional[ChunkScene] = None
 
     def __post_init__(self) -> None:
         if self.num_frames < 0 or self.frames_for_inference < 0:
@@ -190,6 +197,11 @@ class StreamSession:
             until the first one); feeds the stall watchdog.
         close_reason: Why the session was closed ("" while open;
             "client", "completed", "stalled", "backpressure", ...).
+        parameters: Encoder parameters currently deployed on the camera
+            (``None`` until the first parameter retune — the seed never
+            sets them).
+        parameter_version: Number of parameter retunes applied so far
+            (``0`` on the seed path).
     """
 
     session_id: str
@@ -214,6 +226,8 @@ class StreamSession:
     chunks_failed: int = 0
     last_push: float = float("nan")
     close_reason: str = ""
+    parameters: Optional[EncoderParameters] = None
+    parameter_version: int = 0
 
     @property
     def in_flight(self) -> int:

@@ -15,11 +15,29 @@ mid-run where the batch report only had to be honest post-drain:
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 from ..cluster.fleet import latency_percentiles_of
 from .session import SessionState
+
+
+def _encode_float(value: float) -> Union[float, str]:
+    """Encode one float for strict JSON (nan/inf become strings)."""
+    if value != value:
+        return "nan"
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _decode_float(value: Union[float, int, str]) -> float:
+    """Invert :func:`_encode_float` (``float`` parses the sentinels)."""
+    return float(value)
 
 
 @dataclass(frozen=True)
@@ -60,6 +78,8 @@ class SessionSnapshot:
         lan_queue_depth: Waiting transfers on the session's camera uplink.
         latency_percentiles: ``{50/95/99: seconds}`` over completed chunks
             (``nan`` before the first completion).
+        parameter_version: Encoder-parameter retunes applied to the
+            session so far (``0`` on the seed path).
     """
 
     session_id: str
@@ -72,6 +92,25 @@ class SessionSnapshot:
     in_flight: int
     lan_queue_depth: int
     latency_percentiles: Dict[int, float]
+    parameter_version: int = 0
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """One entry of the bounded health-history ring.
+
+    Captured by :meth:`StreamingService.status` whenever the snapshot's
+    combined fault/retune counters are non-empty, so breaker trips,
+    failovers and retunes stay visible after the fact.  Clean runs never
+    produce samples — fault-free snapshots look exactly like the seed's.
+
+    Attributes:
+        virtual_now: Scheduler clock when the sample was captured.
+        counters: The flat counters at that instant.
+    """
+
+    virtual_now: float
+    counters: Dict[str, int]
 
 
 @dataclass(frozen=True)
@@ -100,6 +139,15 @@ class ServiceStatus:
             without a fault driver).
         fault_counters: Flat :meth:`FaultStats.as_dict` metrics (empty
             on a clean run, so fault-free snapshots look like the seed's).
+        retune_counters: Adaptive-tuning counters (``retunes_applied`` /
+            ``retunes_suppressed``; empty without a controller or while
+            it has done nothing).
+        retune_history: Versioned retune history lines from the
+            controller's :class:`~repro.core.tuner.ParameterLookupTable`
+            (empty without a controller).
+        health_history: Bounded ring of :class:`HealthSample` entries —
+            ``(virtual_now, counters)`` captured on each ``status()``
+            call that had non-empty counters (empty on clean runs).
     """
 
     virtual_now: float
@@ -120,6 +168,9 @@ class ServiceStatus:
     close_reasons: Dict[str, int] = field(default_factory=dict)
     breaker_states: Dict[int, str] = field(default_factory=dict)
     fault_counters: Dict[str, int] = field(default_factory=dict)
+    retune_counters: Dict[str, int] = field(default_factory=dict)
+    retune_history: Tuple[str, ...] = ()
+    health_history: Tuple[HealthSample, ...] = ()
 
     @property
     def max_utilisation(self) -> float:
@@ -140,8 +191,137 @@ class ServiceStatus:
         raise KeyError(name)
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dict view (JSON-serialisable modulo ``nan``)."""
+        """Plain-dict view.
+
+        Handy for quick inspection, but **not** a faithful wire format:
+        ``json.dumps`` would silently stringify the ``int`` keys of
+        ``latency_percentiles``/``breaker_states`` (breaking round-trips)
+        and ``nan``/``inf`` floats are not valid JSON.  Use
+        :meth:`to_json` / :meth:`from_json` for lossless serialisation.
+        """
         return asdict(self)
+
+    def to_json(self, indent: object = None) -> str:
+        """Lossless strict-JSON encoding of the snapshot.
+
+        Integer dict keys are encoded as strings and restored by
+        :meth:`from_json`; ``nan``/``±inf`` floats are encoded as the
+        explicit sentinels ``"nan"``/``"inf"``/``"-inf"`` (``allow_nan``
+        is off, so nothing non-standard can leak through).
+        """
+        payload: Dict[str, object] = {
+            "virtual_now": _encode_float(self.virtual_now),
+            "wall_run_seconds": _encode_float(self.wall_run_seconds),
+            "clock": self.clock,
+            "speedup": _encode_float(self.speedup),
+            "clock_max_lag_seconds": _encode_float(
+                self.clock_max_lag_seconds),
+            "events_processed": self.events_processed,
+            "pending_events": self.pending_events,
+            "active_sessions": self.active_sessions,
+            "total_sessions": self.total_sessions,
+            "sessions_rejected": self.sessions_rejected,
+            "pushes_rejected": self.pushes_rejected,
+            "tenants": dict(self.tenants),
+            "stations": [{
+                "name": station.name,
+                "queue_depth": station.queue_depth,
+                "in_service": station.in_service,
+                "busy_seconds": _encode_float(station.busy_seconds),
+                "utilisation": _encode_float(station.utilisation),
+                "completed": station.completed,
+            } for station in self.stations],
+            "sessions": [{
+                "session_id": session.session_id,
+                "tenant": session.tenant,
+                "edge_index": session.edge_index,
+                "state": session.state,
+                "frames_pushed": session.frames_pushed,
+                "chunks_pushed": session.chunks_pushed,
+                "chunks_completed": session.chunks_completed,
+                "in_flight": session.in_flight,
+                "lan_queue_depth": session.lan_queue_depth,
+                "latency_percentiles": {
+                    str(percentile): _encode_float(value)
+                    for percentile, value
+                    in session.latency_percentiles.items()},
+                "parameter_version": session.parameter_version,
+            } for session in self.sessions],
+            "sessions_degraded": self.sessions_degraded,
+            "close_reasons": dict(self.close_reasons),
+            "breaker_states": {str(index): state for index, state
+                               in self.breaker_states.items()},
+            "fault_counters": dict(self.fault_counters),
+            "retune_counters": dict(self.retune_counters),
+            "retune_history": list(self.retune_history),
+            "health_history": [{
+                "virtual_now": _encode_float(sample.virtual_now),
+                "counters": dict(sample.counters),
+            } for sample in self.health_history],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True,
+                          allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceStatus":
+        """Rebuild a snapshot from :meth:`to_json` output.
+
+        Restores the integer percentile/breaker keys and decodes the
+        nan/inf sentinels, so ``from_json(status.to_json())`` reproduces
+        ``status`` field-for-field (nan compares unequal to itself, so
+        compare via ``to_json`` for byte-identity).
+        """
+        payload = json.loads(text)
+        return cls(
+            virtual_now=_decode_float(payload["virtual_now"]),
+            wall_run_seconds=_decode_float(payload["wall_run_seconds"]),
+            clock=payload["clock"],
+            speedup=_decode_float(payload["speedup"]),
+            clock_max_lag_seconds=_decode_float(
+                payload["clock_max_lag_seconds"]),
+            events_processed=payload["events_processed"],
+            pending_events=payload["pending_events"],
+            active_sessions=payload["active_sessions"],
+            total_sessions=payload["total_sessions"],
+            sessions_rejected=payload["sessions_rejected"],
+            pushes_rejected=payload["pushes_rejected"],
+            tenants=dict(payload["tenants"]),
+            stations=tuple(StationSnapshot(
+                name=station["name"],
+                queue_depth=station["queue_depth"],
+                in_service=station["in_service"],
+                busy_seconds=_decode_float(station["busy_seconds"]),
+                utilisation=_decode_float(station["utilisation"]),
+                completed=station["completed"],
+            ) for station in payload["stations"]),
+            sessions=tuple(SessionSnapshot(
+                session_id=session["session_id"],
+                tenant=session["tenant"],
+                edge_index=session["edge_index"],
+                state=session["state"],
+                frames_pushed=session["frames_pushed"],
+                chunks_pushed=session["chunks_pushed"],
+                chunks_completed=session["chunks_completed"],
+                in_flight=session["in_flight"],
+                lan_queue_depth=session["lan_queue_depth"],
+                latency_percentiles={
+                    int(percentile): _decode_float(value)
+                    for percentile, value
+                    in session["latency_percentiles"].items()},
+                parameter_version=session["parameter_version"],
+            ) for session in payload["sessions"]),
+            sessions_degraded=payload["sessions_degraded"],
+            close_reasons=dict(payload["close_reasons"]),
+            breaker_states={int(index): state for index, state
+                            in payload["breaker_states"].items()},
+            fault_counters=dict(payload["fault_counters"]),
+            retune_counters=dict(payload["retune_counters"]),
+            retune_history=tuple(payload["retune_history"]),
+            health_history=tuple(HealthSample(
+                virtual_now=_decode_float(sample["virtual_now"]),
+                counters=dict(sample["counters"]),
+            ) for sample in payload["health_history"]),
+        )
 
 
 def snapshot_station(name: str, station, horizon: float) -> StationSnapshot:
@@ -171,4 +351,5 @@ def snapshot_session(session, lan_queue_depth: int) -> SessionSnapshot:
         in_flight=session.in_flight,
         lan_queue_depth=lan_queue_depth,
         latency_percentiles=latency_percentiles_of(session.chunk_latencies),
+        parameter_version=session.parameter_version,
     )

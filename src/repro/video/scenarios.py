@@ -251,6 +251,51 @@ def night(duration_seconds: float = DEFAULT_DURATION_SECONDS,
     return profile.scaled(render_scale)
 
 
+def drifting(duration_seconds: float = DEFAULT_DURATION_SECONDS,
+             render_scale: float = DEFAULT_RENDER_SCALE,
+             seed: int = 8) -> SceneProfile:
+    """Highway feed drifting into night over the course of the clip (720p).
+
+    Not part of the paper's Table I — this is the regime-change workload
+    for the online adaptive tuner (:mod:`repro.adapt`).  It starts as the
+    daylight ``highway`` stream and morphs, linearly over the clip, into
+    the adversarial ``night`` regime: the global brightness falls
+    110 → 45, a street-lamp flicker fades in to the night scenario's
+    amplitude, sensor noise rises as the virtual gain cranks up, and —
+    decisive for the tuner — the vehicles' luma contrast fades towards
+    the background, so the scenecut threshold that detects every arrival
+    at noon silently misses the dim ones at dusk.  A tune frozen on the
+    opening minutes therefore degrades mid-clip, which is exactly the
+    drift the detectors must catch and the re-tune must repair.
+    """
+    classes = (
+        (ObjectClassSpec("car", relative_height=0.16, aspect_ratio=2.4,
+                         speed_fraction=0.40, brightness_delta=72.0), 0.8),
+        (ObjectClassSpec("truck", relative_height=0.24, aspect_ratio=2.9,
+                         speed_fraction=0.32, brightness_delta=88.0), 0.2),
+    )
+    profile = SceneProfile(
+        name="drifting",
+        resolution=RESOLUTION_720P,
+        fps=30.0,
+        duration_seconds=duration_seconds,
+        object_classes=classes,
+        mean_gap_seconds=3.0,
+        mean_dwell_seconds=3.0,
+        noise_std=2.0,
+        background_detail=20.0,
+        illumination_drift=2.5,
+        base_brightness=110.0,
+        brightness_ramp=-65.0,
+        flicker_ramp=9.0,
+        noise_ramp=1.5,
+        object_contrast_ramp=-0.55,
+        max_concurrent_objects=2,
+        seed=seed,
+    )
+    return profile.scaled(render_scale)
+
+
 #: Mapping from scenario name to constructor.
 SCENARIOS = {
     "jackson_square": jackson_square,
@@ -260,6 +305,7 @@ SCENARIOS = {
     "amsterdam": amsterdam,
     "highway": highway,
     "night": night,
+    "drifting": drifting,
 }
 
 #: Scenarios for which the paper has ground-truth object labels.

@@ -104,6 +104,21 @@ class SceneProfile:
             consecutive frames, so motion compensation cannot explain it
             away — the stress case for scene-cut detection.  ``0``
             (default) renders bit-identical to the pre-flicker generator.
+        brightness_ramp: Luma added to the global illumination, scaled
+            linearly from ``0`` at the first frame to the full value at
+            the last — a negative ramp morphs a daylight scene into
+            night over the clip.  ``0`` (default) is bit-identical.
+        flicker_ramp: Added to ``flicker_amplitude`` with the same linear
+            schedule (street lamps that degrade as night falls).  ``0``
+            (default) is bit-identical.
+        noise_ramp: Added to ``noise_std`` with the same linear schedule
+            (sensor gain cranking up in low light).  ``0`` (default) is
+            bit-identical.
+        object_contrast_ramp: Multiplies every object's luma delta by
+            ``1 + ramp * progress`` — a negative ramp fades objects into
+            the background, which is what genuinely shifts the optimal
+            scenecut threshold mid-clip.  ``0`` (default) is
+            bit-identical.
         max_concurrent_objects: Upper bound on simultaneously visible objects.
         seed: Root seed for the event schedule and appearance sampling.
     """
@@ -121,6 +136,10 @@ class SceneProfile:
     illumination_drift: float = 3.0
     base_brightness: float = 110.0
     flicker_amplitude: float = 0.0
+    brightness_ramp: float = 0.0
+    flicker_ramp: float = 0.0
+    noise_ramp: float = 0.0
+    object_contrast_ramp: float = 0.0
     max_concurrent_objects: int = 1
     seed: int = 0
 
@@ -133,6 +152,18 @@ class SceneProfile:
         if self.flicker_amplitude < 0:
             raise ConfigurationError(
                 f"flicker_amplitude must be >= 0, got {self.flicker_amplitude}")
+        if not 0.0 <= self.base_brightness + self.brightness_ramp <= 255.0:
+            raise ConfigurationError(
+                "base_brightness + brightness_ramp must stay in [0, 255], "
+                f"got {self.base_brightness + self.brightness_ramp}")
+        if self.flicker_amplitude + self.flicker_ramp < 0:
+            raise ConfigurationError(
+                "flicker_amplitude + flicker_ramp must be >= 0")
+        if self.noise_std + self.noise_ramp < 0:
+            raise ConfigurationError("noise_std + noise_ramp must be >= 0")
+        if 1.0 + self.object_contrast_ramp < 0:
+            raise ConfigurationError(
+                "object_contrast_ramp must be >= -1 (contrast cannot flip)")
         if not self.object_classes:
             raise ConfigurationError("object_classes must not be empty")
         if self.mean_gap_seconds <= 0 or self.mean_dwell_seconds <= 0:
@@ -147,6 +178,10 @@ class SceneProfile:
     def num_frames(self) -> int:
         """Number of frames in the generated video."""
         return max(int(round(self.duration_seconds * self.fps)), 1)
+
+    def ramp_progress(self, frame_index: int) -> float:
+        """Linear drift-ramp progress at ``frame_index`` (``0`` → ``1``)."""
+        return frame_index / max(self.num_frames - 1, 1)
 
     def scaled(self, factor: float, name: Optional[str] = None) -> "SceneProfile":
         """Return a copy rendered at ``factor`` times the resolution.
@@ -385,19 +420,27 @@ class SyntheticScene:
         return np.clip(base + texture + grain, 0, 255)
 
     def _illumination(self, frame_index: int) -> float:
-        """Global brightness offset at ``frame_index`` (drift + flicker)."""
+        """Global brightness offset at ``frame_index`` (drift + flicker).
+
+        The ramp terms are exact no-ops at their ``0.0`` defaults
+        (``x + 0.0 * p == x`` and an unchanged flicker amplitude draws
+        the identical uniform), keeping default profiles bit-identical.
+        """
         period_frames = 45.0 * self.profile.fps
+        progress = self.profile.ramp_progress(frame_index)
         level = (self.profile.illumination_drift / 2.0) * math.sin(
             2 * math.pi * frame_index / max(period_frames, 1.0))
-        if self.profile.flicker_amplitude > 0:
+        level += self.profile.brightness_ramp * progress
+        amplitude = (self.profile.flicker_amplitude
+                     + self.profile.flicker_ramp * progress)
+        if amplitude > 0:
             # Per-frame deterministic jitter: unlike the slow drift it is
             # uncorrelated between consecutive frames, so the whole frame's
             # residual moves together — exactly what stresses scene-cut
             # detection in low light.
             flicker_rng = make_rng(self.profile.seed, self.profile.name,
                                    "flicker", str(frame_index))
-            level += flicker_rng.uniform(-self.profile.flicker_amplitude,
-                                         self.profile.flicker_amplitude)
+            level += flicker_rng.uniform(-amplitude, amplitude)
         return level
 
     def frame_array(self, frame_index: int) -> np.ndarray:
@@ -406,6 +449,10 @@ class SyntheticScene:
             raise ConfigurationError(
                 f"frame index {frame_index} outside video of {self.profile.num_frames}")
         resolution = self.profile.resolution
+        progress = self.profile.ramp_progress(frame_index)
+        # Object contrast fades by the ramp schedule; the 1.0 factor at the
+        # default preserves every pixel bit-for-bit (x * 1.0 == x).
+        contrast = 1.0 + self.profile.object_contrast_ramp * progress
         image = self._background + self._illumination(frame_index)
         image = image.copy()
         for track in self.script.visible_tracks(frame_index):
@@ -413,24 +460,26 @@ class SyntheticScene:
             if box is None:
                 continue
             x0, y0, x1, y1 = box
+            brightness = track.brightness * contrast
             if track.spec.shape == "rectangle":
-                image[y0:y1, x0:x1] += track.brightness
+                image[y0:y1, x0:x1] += brightness
                 # A darker "window/cabin" band adds internal texture so that
                 # feature-based baselines have something to match.
                 band_top = y0 + (y1 - y0) // 4
                 band_bottom = y0 + (y1 - y0) // 2
-                image[band_top:band_bottom, x0:x1] -= track.brightness * 0.35
+                image[band_top:band_bottom, x0:x1] -= brightness * 0.35
             else:
                 yy, xx = np.mgrid[y0:y1, x0:x1]
                 cy, cx = (y0 + y1) / 2.0, (x0 + x1) / 2.0
                 ry, rx = max((y1 - y0) / 2.0, 1.0), max((x1 - x0) / 2.0, 1.0)
                 mask = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
                 region = image[y0:y1, x0:x1]
-                region[mask] += track.brightness
+                region[mask] += brightness
         noise_rng = make_rng(self.profile.seed, self.profile.name, "noise",
                              str(frame_index))
-        if self.profile.noise_std > 0:
-            image += noise_rng.normal(0.0, self.profile.noise_std, size=image.shape)
+        noise_std = self.profile.noise_std + self.profile.noise_ramp * progress
+        if noise_std > 0:
+            image += noise_rng.normal(0.0, noise_std, size=image.shape)
         image = np.clip(image, 0, 255).astype(np.uint8)
         if self.as_color:
             tint = np.array([1.0, 0.97, 0.92])

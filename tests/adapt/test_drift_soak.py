@@ -1,0 +1,181 @@
+"""The drift soak: online adaptation in the serving path, end to end.
+
+The ``drifting`` scenario morphs a bright highway feed into night; a
+tuner frozen on the opening split rots while the adaptive controller
+re-tunes the live session.  The suite pins the whole ISSUE contract:
+
+* the controller confirms drift and applies at least one retune through
+  ``retune_session`` without dropping the stream;
+* same-seed runs produce byte-identical retune histories, under the
+  virtual and the real-time clock alike;
+* the adaptive schedule's full-clip F1 strictly beats the frozen
+  baseline's (the accuracy-vs-bitrate win);
+* with the controller disabled (the default), scene payloads are inert
+  and the serving path is bit-identical to the seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.adapt import AdaptiveConfig
+from repro.faults import ResilienceConfig
+from repro.service import (ChunkFeeder, FrameChunk, RealTimeClock,
+                           ServiceStatus, SessionState, StreamingService,
+                           VirtualClock)
+
+TOLERANCE = 1e-6
+CAMERA = "cam-drift"
+CHUNK_SECONDS = 2.0
+
+
+def run_soak(chunks, frozen, clock=None, adaptive=True, resilience=None):
+    service = StreamingService(
+        clock=clock if clock is not None else VirtualClock(),
+        adaptive=(AdaptiveConfig(initial_parameters=frozen)
+                  if adaptive else None),
+        resilience=resilience)
+    service.open_session(CAMERA)
+    ChunkFeeder(service, CAMERA, chunks,
+                period_seconds=CHUNK_SECONDS).start(at=0.0)
+    service.drain()
+    return service
+
+
+def history_document(service):
+    lines = list(service.adaptive.history_lines())
+    lines.extend(service.adaptive.trace.lines())
+    for name, value in sorted(service.adaptive.counters().items()):
+        lines.append(f"{name}={value}")
+    return lines
+
+
+def adaptive_schedule(service, frozen, num_chunks):
+    """Reconstruct per-chunk parameters from the versioned audit table."""
+    schedule = [frozen] * num_chunks
+    for record in service.adaptive.table.history(CAMERA):
+        if record.trigger == "initial":
+            continue
+        first = int(round(record.time / CHUNK_SECONDS)) + 1
+        for index in range(min(first, num_chunks), num_chunks):
+            schedule[index] = record.new
+    return schedule
+
+
+class TestDriftSoak:
+    def test_retunes_apply_without_dropping_the_stream(
+            self, drift_chunks, frozen_parameters):
+        service = run_soak(drift_chunks, frozen_parameters)
+        assert service.adaptive.retunes_applied >= 1
+        session = service.ingest.sessions[CAMERA]
+        # The stream survived the retunes: all chunks pushed, completed,
+        # drained to a clean close.
+        assert session.state is SessionState.CLOSED
+        assert session.chunks_pushed == len(drift_chunks)
+        assert session.chunks_completed == len(drift_chunks)
+        assert session.close_reason == "client"
+        assert session.parameter_version == service.adaptive.retunes_applied
+        assert session.parameters is not None
+        assert session.parameters != frozen_parameters
+
+    def test_versioned_history_is_auditable(self, drift_chunks,
+                                            frozen_parameters):
+        service = run_soak(drift_chunks, frozen_parameters)
+        records = service.adaptive.table.history(CAMERA)
+        # v1 is the initial deployment; later versions chain old -> new.
+        assert records[0].version == 1
+        assert records[0].trigger == "initial"
+        assert records[0].old is None
+        for previous, record in zip(records, records[1:]):
+            assert record.version == previous.version + 1
+            assert record.old == previous.new
+            assert record.trigger != "initial"
+            assert record.score == record.score  # applied => real F1
+        assert service.adaptive.table.lookup(CAMERA) == records[-1].new
+
+    def test_same_seed_reruns_are_byte_identical(self, drift_chunks,
+                                                 frozen_parameters):
+        first = run_soak(drift_chunks, frozen_parameters)
+        second = run_soak(drift_chunks, frozen_parameters)
+        assert history_document(first) == history_document(second)
+        assert first.fleet_report().parity_mismatches(
+            second.fleet_report(), TOLERANCE) == []
+
+    def test_virtual_and_real_time_histories_are_identical(
+            self, drift_chunks, frozen_parameters):
+        baseline = run_soak(drift_chunks, frozen_parameters)
+        live = run_soak(drift_chunks, frozen_parameters,
+                        clock=RealTimeClock(speedup=1e6))
+        assert history_document(baseline) == history_document(live)
+        assert baseline.fleet_report().parity_mismatches(
+            live.fleet_report(), TOLERANCE) == []
+        assert (baseline.scheduler.events_processed
+                == live.scheduler.events_processed)
+
+    def test_adaptive_beats_frozen_on_the_drifting_clip(
+            self, drift_chunks, frozen_parameters, replay):
+        service = run_soak(drift_chunks, frozen_parameters)
+        frozen_score = replay(drift_chunks,
+                              [frozen_parameters] * len(drift_chunks))
+        adaptive_score = replay(
+            drift_chunks,
+            adaptive_schedule(service, frozen_parameters, len(drift_chunks)))
+        assert adaptive_score.f1 > frozen_score.f1
+        assert adaptive_score.accuracy > frozen_score.accuracy
+
+    def test_status_surfaces_the_adaptation(self, drift_chunks,
+                                            frozen_parameters):
+        service = run_soak(drift_chunks, frozen_parameters)
+        status = service.status()
+        assert status.retune_counters.get("retunes_applied", 0) >= 1
+        assert any("session-retuned" not in line and "trigger=" in line
+                   for line in status.retune_history)
+        assert status.health_history  # counters were non-empty
+        assert status.health_history[-1].counters == {
+            **status.fault_counters, **status.retune_counters}
+        snapshot = next(s for s in status.sessions
+                        if s.session_id == CAMERA)
+        assert snapshot.parameter_version >= 1
+        # The adaptive fields survive the lossless wire format.
+        assert ServiceStatus.from_json(status.to_json()).to_json() == (
+            status.to_json())
+
+    def test_retunes_mirror_into_the_recovery_trace(self, drift_chunks,
+                                                    frozen_parameters):
+        # With a fault driver installed (resilience knobs, no plan), the
+        # controller mirrors its records into the recovery trace.
+        service = run_soak(
+            drift_chunks, frozen_parameters,
+            resilience=ResilienceConfig(stall_timeout_seconds=1e6,
+                                        watchdog_period_seconds=1e6))
+        lines = service.recovery_trace.lines()
+        assert any("session-retuned" in line for line in lines)
+
+    def test_controller_off_scene_payloads_are_inert(self, drift_chunks,
+                                                     frozen_parameters):
+        # The seed path: no AdaptiveConfig => no controller, and chunks
+        # carrying scenes behave bit-identically to scene-less chunks.
+        bare = [dataclasses.replace(chunk, scene=None)
+                for chunk in drift_chunks]
+        with_scene = run_soak(drift_chunks, frozen_parameters,
+                              adaptive=False)
+        without_scene = run_soak(bare, frozen_parameters, adaptive=False)
+        assert with_scene.adaptive is None
+        assert with_scene.fleet_report().parity_mismatches(
+            without_scene.fleet_report(), TOLERANCE) == []
+        assert (with_scene.scheduler.events_processed
+                == without_scene.scheduler.events_processed)
+        status = with_scene.status()
+        assert status.retune_counters == {}
+        assert status.retune_history == ()
+        assert status.health_history == ()
+        session = with_scene.ingest.sessions[CAMERA]
+        assert session.parameter_version == 0
+        assert session.parameters is None
+
+    def test_scene_chunks_are_inert_without_scene_field_set(self):
+        # A plain seed-shaped chunk (scene defaulted) keeps working.
+        chunk = FrameChunk(num_frames=30, frames_for_inference=3,
+                           edge_seconds=0.1, cloud_seconds=0.05,
+                           camera_edge_bytes=1000, edge_cloud_bytes=100)
+        assert chunk.scene is None

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.codec import EncoderParameters
+from repro.codec.scenecut import FrameActivity
 from repro.core import (DEFAULT_GOP_GRID, DEFAULT_SCENECUT_GRID, ParameterLookupTable,
                         SemanticEncoderTuner, TuningGrid, evaluate_sampling, f1_score,
                         propagate_labels, propagation_accuracy, sampling_fraction)
@@ -141,3 +142,107 @@ class TestTuner:
         assert table.as_dict() == {"cam": parameters}
         with pytest.raises(TuningError):
             table.lookup("other")
+
+    def test_score_of_looks_up_grid_cells(self, tiny_activities,
+                                          tiny_timeline):
+        result = SemanticEncoderTuner().tune_from_activities(
+            tiny_activities, tiny_timeline, "tiny")
+        assert result.score_of(result.best.parameters) is result.best
+        off_grid = EncoderParameters(gop_size=123, scenecut_threshold=77)
+        assert result.score_of(off_grid) is None
+
+
+class TestTieBreakDeterminism:
+    """F1 ties resolve to the first configuration in grid order.
+
+    The contract the online controller leans on: a tie-equal "winner" is
+    recognisable (it IS the first-in-grid-order cell) and treated as a
+    no-op rather than an oscillating retune.
+    """
+
+    def flat_activities(self, num_frames=50):
+        # Zero novelty after the synthetic first frame: no scene cut
+        # fires at any threshold, and no GOP under `num_frames` expires,
+        # so every one of the 25 grid cells samples exactly frame 0.
+        activities = [FrameActivity(
+            frame_index=0, inter_cost=0.0, intra_cost=100.0,
+            novel_block_fraction=1.0, moving_block_fraction=0.0,
+            is_first=True)]
+        activities.extend(FrameActivity(
+            frame_index=index, inter_cost=0.0, intra_cost=100.0,
+            novel_block_fraction=0.0, moving_block_fraction=0.0)
+            for index in range(1, num_frames))
+        return activities
+
+    def test_grid_order_is_gop_major(self):
+        configurations = TuningGrid().configurations()
+        assert [(p.gop_size, p.scenecut_threshold)
+                for p in configurations[:6]] == [
+            (100, 20), (100, 40), (100, 100), (100, 200), (100, 250),
+            (250, 20)]
+
+    def test_all_tie_grid_picks_first_in_grid_order(self):
+        activities = self.flat_activities()
+        timeline = EventTimeline.from_frame_labels([set()] * len(activities))
+        result = SemanticEncoderTuner().tune_from_activities(
+            activities, timeline, "flat")
+        # Handcrafted tie: every cell produced the same keyframes and F1.
+        assert {r.keyframe_indices for r in result.results} == {(0,)}
+        assert len({r.score.f1 for r in result.results}) == 1
+        assert result.best is result.results[0]
+        assert result.best_parameters.gop_size == DEFAULT_GOP_GRID[0]
+        assert (result.best_parameters.scenecut_threshold
+                == DEFAULT_SCENECUT_GRID[0])
+
+    def test_tie_break_is_stable_across_reruns(self):
+        activities = self.flat_activities()
+        timeline = EventTimeline.from_frame_labels([set()] * len(activities))
+        tuner = SemanticEncoderTuner()
+        first = tuner.tune_from_activities(activities, timeline)
+        second = tuner.tune_from_activities(activities, timeline)
+        assert first.best_parameters == second.best_parameters
+        assert first.leaderboard(25) == second.leaderboard(25)
+
+    def test_leaderboard_keeps_grid_order_within_tied_groups(self):
+        activities = self.flat_activities()
+        timeline = EventTimeline.from_frame_labels([set()] * len(activities))
+        result = SemanticEncoderTuner().tune_from_activities(
+            activities, timeline)
+        # sorted() is stable: an all-tie leaderboard IS the grid order.
+        assert [r.parameters for r in result.leaderboard(25)] == [
+            r.parameters for r in result.results]
+
+
+class TestVersionedLookupTable:
+    def test_store_appends_auditable_versions(self):
+        table = ParameterLookupTable()
+        v1_params = EncoderParameters(gop_size=500, scenecut_threshold=200)
+        v2_params = EncoderParameters(gop_size=100, scenecut_threshold=200)
+        first = table.store("cam", v1_params)
+        second = table.store("cam", v2_params, time=36.0,
+                             trigger="brightness:page-hinkley=36.599",
+                             score=0.963514)
+        assert (first.version, second.version) == (1, 2)
+        assert first.old is None and first.new == v1_params
+        assert second.old == v1_params and second.new == v2_params
+        assert table.version("cam") == 2
+        assert table.lookup("cam") == v2_params  # lookup returns latest
+        assert table.history("cam") == (first, second)
+        assert table.version("never-stored") == 0
+        assert table.history("never-stored") == ()
+
+    def test_history_lines_are_deterministic_and_diffable(self):
+        table = ParameterLookupTable()
+        table.store("cam-b", EncoderParameters(gop_size=500,
+                                               scenecut_threshold=200))
+        table.store("cam-a", EncoderParameters(gop_size=250,
+                                               scenecut_threshold=40),
+                    time=12.0, trigger="novelty:zscore=5.000", score=0.5)
+        lines = table.history_lines()
+        # Cameras sort lexicographically; unscored stores render f1=nan.
+        assert lines == [
+            "camera=cam-a t=12.000000 v1 trigger=novelty:zscore=5.000 "
+            "old=[none] new=[gop=250, sc=40] f1=0.500000",
+            "camera=cam-b t=0.000000 v1 trigger=store "
+            "old=[none] new=[gop=500, sc=200] f1=nan",
+        ]

@@ -184,6 +184,68 @@ class TestDegradationPaths:
         assert SystemConfig(build_workers=0).build_workers == expected
 
 
+class TestWorkerKillRecovery:
+    """ISSUE: the fault plane reaches the workload builder — a killed
+    pool worker must not change a single byte of the built corpus."""
+
+    def build_with_faults(self, tmp_path, subdir, build_workers, faults):
+        cache = tmp_path / subdir
+        with diskcache.temporary_cache_dir(cache):
+            clear_prepared_cache()
+            builder = WorkloadBuilder(QUICK, build_workers=build_workers,
+                                      faults=faults)
+            built = builder.build_workloads()
+        clear_prepared_cache()
+        return built, cache, builder
+
+    def test_killed_worker_recovers_bit_identically(self, tmp_path,
+                                                    fresh_state):
+        from repro.faults import FaultPlan, WorkerKill
+        serial, serial_cache = build_in(tmp_path, "serial", 1)
+        get_recorder().reset()
+        # The worker picking up task 0 dies hard (os._exit, no cleanup,
+        # no cache write) before building anything.
+        killed, killed_cache, builder = self.build_with_faults(
+            tmp_path, "killed", 2,
+            FaultPlan(specs=(WorkerKill(edge_index=0),)))
+        assert builder.tasks_poisoned == 1
+        assert [w.name for w in killed] == [w.name for w in serial]
+        for left, right in zip(serial, killed):
+            assert workload_fingerprint(left) == workload_fingerprint(right)
+        # The artifacts the parent rebuilt are byte-identical on disk.
+        assert diskcache.tree_digest(serial_cache) == (
+            diskcache.tree_digest(killed_cache))
+
+    def test_serial_path_ignores_worker_kills(self, tmp_path, fresh_state):
+        from repro.faults import FaultPlan, WorkerKill
+        plain, plain_cache = build_in(tmp_path, "plain", 1)
+        killed, killed_cache, builder = self.build_with_faults(
+            tmp_path, "serial-killed", 1,
+            FaultPlan(specs=(WorkerKill(edge_index=0),)))
+        # The poison is marked but never honoured in-process: the parent
+        # must not os._exit itself.
+        assert builder.tasks_poisoned == 1
+        for left, right in zip(plain, killed):
+            assert workload_fingerprint(left) == workload_fingerprint(right)
+        assert diskcache.tree_digest(plain_cache) == (
+            diskcache.tree_digest(killed_cache))
+
+    def test_out_of_range_kill_index_is_a_noop(self, tmp_path, fresh_state):
+        from repro.faults import FaultPlan, WorkerKill
+        built, _, builder = self.build_with_faults(
+            tmp_path, "oob", 2, FaultPlan(specs=(WorkerKill(edge_index=99),)))
+        assert builder.tasks_poisoned == 0
+        assert [w.name for w in built] == list(QUICK.datasets)
+
+    def test_no_faults_means_no_poison(self, tmp_path, fresh_state):
+        builder = WorkloadBuilder(QUICK, build_workers=1)
+        assert builder.tasks_poisoned == 0
+        tasks = [workloads_module.BuildTask(
+            artifact=workloads_module.WORKLOAD_ARTIFACT,
+            name="jackson_square", split="full", config=QUICK)]
+        assert builder._poison(tasks) == tasks
+
+
 class TestBuildTaskPlumbing:
     def test_system_config_supplies_the_default_worker_count(self):
         system_config = SystemConfig(build_workers=3)

@@ -113,6 +113,27 @@ class TestBackpressure:
         with pytest.raises(ServiceError):
             service.retune_session("a", max_pending_chunks=0)
 
+    def test_retune_deploys_parameters_and_bumps_version(self):
+        from repro.codec import EncoderParameters
+        service = make_service()
+        service.open_session("a")
+        session = service.ingest.sessions["a"]
+        assert session.parameters is None and session.parameter_version == 0
+        tuned = EncoderParameters(gop_size=100, scenecut_threshold=200)
+        service.retune_session("a", parameters=tuned)
+        assert session.parameters == tuned
+        assert session.parameter_version == 1
+        # A bound-only retune must not touch the parameter version.
+        service.retune_session("a", max_pending_chunks=4)
+        assert session.parameter_version == 1
+        service.push_frames("a", CHUNK)  # the retuned session stays live
+        with pytest.raises(ServiceError):
+            service.retune_session("a")  # neither knob given
+        service.close_session("a")
+        service.drain()
+        with pytest.raises(ServiceError):
+            service.retune_session("a", parameters=tuned)  # closed
+
     def test_push_to_closed_session_fails(self):
         service = make_service()
         service.open_session("a")

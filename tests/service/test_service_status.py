@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+import json
 import math
 
 import pytest
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, ServiceError
 from repro.service import (FrameChunk, RealTimeClock, StreamingService,
                            TenantPolicy)
+from repro.service.status import (HealthSample, ServiceStatus,
+                                  SessionSnapshot, StationSnapshot)
 
 CHUNK = FrameChunk(num_frames=30, frames_for_inference=3,
                    edge_seconds=0.5, cloud_seconds=0.1,
@@ -110,3 +113,142 @@ def test_station_lookup_raises_on_unknown_name():
     service = StreamingService()
     with pytest.raises(KeyError):
         service.status().station("edge:99")
+
+
+def handcrafted_status() -> ServiceStatus:
+    """A snapshot exercising every lossy corner of naive JSON encoding:
+    int dict keys, nan, both infinities."""
+    return ServiceStatus(
+        virtual_now=12.5, wall_run_seconds=0.25, clock="virtual",
+        speedup=float("inf"), clock_max_lag_seconds=0.0,
+        events_processed=100, pending_events=3, active_sessions=1,
+        total_sessions=2, sessions_rejected=1, pushes_rejected=0,
+        tenants={"default": 1},
+        stations=(StationSnapshot(name="edge:0", queue_depth=2, in_service=1,
+                                  busy_seconds=4.5, utilisation=0.36,
+                                  completed=9),),
+        sessions=(SessionSnapshot(
+            session_id="cam-a", tenant="default", edge_index=0, state="open",
+            frames_pushed=300, chunks_pushed=10, chunks_completed=8,
+            in_flight=2, lan_queue_depth=0,
+            latency_percentiles={50: 0.125, 95: float("nan"),
+                                 99: float("-inf")},
+            parameter_version=2),),
+        close_reasons={"client": 1},
+        breaker_states={0: "closed", 1: "open"},
+        fault_counters={"crashes_seen": 1},
+        retune_counters={"retunes_applied": 2},
+        retune_history=("camera=cam-a t=0.000000 v1 trigger=initial "
+                        "old=[none] new=[gop=500, sc=200] f1=nan",),
+        health_history=(HealthSample(virtual_now=6.0,
+                                     counters={"crashes_seen": 1}),),
+    )
+
+
+class TestStatusJsonRoundTrip:
+    def test_round_trip_is_byte_identical(self):
+        # Regression: json.dumps(asdict(status)) used to stringify the
+        # int percentile/breaker keys and choke on nan/inf.  The wire
+        # format must survive encode -> decode -> encode unchanged.
+        status = handcrafted_status()
+        restored = ServiceStatus.from_json(status.to_json())
+        assert restored.to_json() == status.to_json()
+        assert restored.to_json(indent=2) == status.to_json(indent=2)
+
+    def test_int_keys_are_restored_as_ints(self):
+        restored = ServiceStatus.from_json(handcrafted_status().to_json())
+        (session,) = restored.sessions
+        assert sorted(session.latency_percentiles) == [50, 95, 99]
+        assert all(isinstance(key, int)
+                   for key in session.latency_percentiles)
+        assert sorted(restored.breaker_states) == [0, 1]
+        assert all(isinstance(key, int) for key in restored.breaker_states)
+
+    def test_nan_and_inf_survive_via_sentinels(self):
+        text = handcrafted_status().to_json()
+        assert '"nan"' in text and '"inf"' in text and '"-inf"' in text
+        restored = ServiceStatus.from_json(text)
+        (session,) = restored.sessions
+        assert session.latency_percentiles[50] == 0.125
+        assert math.isnan(session.latency_percentiles[95])
+        assert session.latency_percentiles[99] == float("-inf")
+        assert restored.speedup == float("inf")
+
+    def test_to_json_is_strict_json(self):
+        # allow_nan is off: the payload parses under a strict decoder.
+        text = handcrafted_status().to_json()
+        json.loads(text, parse_constant=lambda name: pytest.fail(
+            f"non-standard JSON constant leaked: {name}"))
+
+    def test_live_drained_service_round_trips(self):
+        service = StreamingService(num_edge_servers=1)
+        service.open_session("a")
+        service.push_frames("a", CHUNK)
+        service.drain()
+        status = service.status()
+        # The live snapshot has real nan-free percentiles and int keys.
+        assert ServiceStatus.from_json(status.to_json()).to_json() == (
+            status.to_json())
+
+    def test_live_mid_run_status_with_nan_percentiles_round_trips(self):
+        service = StreamingService(num_edge_servers=1)
+        service.open_session("a")
+        service.push_frames("a", CHUNK)  # no completions: percentiles nan
+        status = service.status()
+        assert math.isnan(status.sessions[0].latency_percentiles[50])
+        assert ServiceStatus.from_json(status.to_json()).to_json() == (
+            status.to_json())
+
+
+class TestHealthHistoryRing:
+    def degraded_service(self) -> StreamingService:
+        # Quota overflow shed to the degraded tier is the cheapest
+        # deterministic way to make the combined counters non-empty.
+        service = StreamingService(
+            num_edge_servers=1,
+            tenants=(TenantPolicy(name="gold", max_sessions=1),),
+            degraded_tenant=TenantPolicy(name="degraded", max_sessions=8))
+        service.open_session("cam-1", tenant="gold")
+        service.open_session("cam-2", tenant="gold")  # shed
+        return service
+
+    def test_clean_runs_never_sample(self):
+        service = StreamingService(num_edge_servers=1)
+        service.open_session("a")
+        service.push_frames("a", CHUNK)
+        for _ in range(5):
+            assert service.status().health_history == ()
+        service.drain()
+        assert service.status().health_history == ()
+
+    def test_samples_capture_time_and_counters(self):
+        service = self.degraded_service()
+        service.run_for(1.0)
+        status = service.status()
+        (sample,) = status.health_history
+        assert sample.virtual_now == status.virtual_now
+        assert sample.counters["sessions_degraded"] == 1
+        assert sample.counters == status.fault_counters
+
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        service = StreamingService(
+            num_edge_servers=1,
+            tenants=(TenantPolicy(name="gold", max_sessions=1),),
+            degraded_tenant=TenantPolicy(name="degraded", max_sessions=8),
+            health_history_limit=3)
+        service.open_session("cam-1", tenant="gold")
+        service.open_session("cam-2", tenant="gold")  # shed
+        times = []
+        for step in range(1, 6):
+            service.run(until=float(step))
+            times.append(service.status().virtual_now)
+        history = service.status().health_history
+        assert len(history) == 3
+        # The ring evicted the oldest samples and kept the latest ones
+        # (the final status() call itself appended the 6th sample).
+        assert [sample.virtual_now for sample in history] == times[-2:] + [
+            service.scheduler.now]
+
+    def test_health_history_limit_validation(self):
+        with pytest.raises(ServiceError):
+            StreamingService(health_history_limit=0)
