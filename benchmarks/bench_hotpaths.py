@@ -489,3 +489,59 @@ class TestSchedulerEventLoop:
         benchmark(self._run_station)
         assert scheduler.events_processed == self.NUM_JOBS
         assert events_per_second > 0
+
+
+class TestScenarioMatrix:
+    """The scenario DSL's defaults must cost nothing at render time.
+
+    Every transform factory at its default is an exact no-op on the
+    profile, so rendering a default-transformed scene must hit the exact
+    same code path — no extra RNG draws, no extra float ops — as the
+    plain profile.  The wall-clock ratio is recorded as the gated
+    ``scenario_matrix.noop`` entry (~1.0x, machine-relative like
+    ``adapt.overhead``), and a preset sweep records how many composed
+    presets actually render, so the matrix cannot silently shrink.
+    """
+
+    RENDER_FRAMES = 24
+
+    def _render(self, profile):
+        scene = SyntheticScene(profile)
+        for index in range(self.RENDER_FRAMES):
+            scene.frame_array(index)
+        return scene
+
+    def test_default_transforms_are_free(self, benchmark, hotpaths_report):
+        from repro.video.transforms import TRANSFORM_FACTORIES, apply_transforms
+
+        profile = make_scenario("highway", duration_seconds=2.0,
+                                render_scale=FRAME_RENDER_SCALE)
+        defaults = [factory() for factory in TRANSFORM_FACTORIES.values()]
+        transformed = apply_transforms(profile, *defaults)
+        # Default transforms are exact no-ops on the profile itself, so
+        # both sides below time the identical rendering path.
+        assert transformed == profile
+        plain_seconds = min_time(lambda: self._render(profile), repeats=3)
+        transformed_seconds = min_time(lambda: self._render(transformed),
+                                       repeats=3)
+        entry = hotpaths_report.record_speedup(
+            "scenario_matrix.noop", plain_seconds, transformed_seconds,
+            frames=self.RENDER_FRAMES, transforms=len(defaults))
+        benchmark(self._render, transformed)
+        assert entry.value > 0
+
+    def test_preset_matrix_renders(self, hotpaths_report):
+        from repro.video.transforms import TRANSFORMS
+
+        profile = make_scenario("highway", duration_seconds=2.0,
+                                render_scale=FRAME_RENDER_SCALE)
+        rendered = 0
+        for name in sorted(TRANSFORMS):
+            preset = TRANSFORMS[name]()(profile)
+            scene = SyntheticScene(preset)
+            scene.frame_array(0)
+            scene.frame_array(self.RENDER_FRAMES - 1)
+            rendered += 1
+        hotpaths_report.record("scenario_matrix.presets", rendered, "items",
+                               frames_each=2)
+        assert rendered == len(TRANSFORMS)

@@ -19,7 +19,13 @@ dropping it.  The soak asserts the whole contract:
    *byte-identical* retune histories and parity-exact fleet reports; CI
    runs this example twice and diffs the ``--history-out`` files verbatim.
 
-Run with:  python examples/drift_soak.py [--seed 11] [--speedup 400]
+Any scenario name or composition spec works as the content source —
+``--scenario drifting`` is the default, but e.g.
+``--scenario highway+rain+night_cycle`` soaks the service on a DSL-composed
+feed instead.
+
+Run with:  python examples/drift_soak.py [--scenario drifting] [--seed 11]
+                                         [--speedup 400]
                                          [--duration 60] [--scale 0.12]
                                          [--history-out FILE]
 """
@@ -27,22 +33,20 @@ Run with:  python examples/drift_soak.py [--seed 11] [--speedup 400]
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.adapt import AdaptiveConfig, chunk_scene
+from repro.adapt import AdaptiveConfig
 from repro.codec.gop import EncoderParameters, StreamingKeyframePlacer
-from repro.codec.scenecut import FrameActivity, SceneCutAnalyzer
 from repro.core.metrics import evaluate_sampling
 from repro.core.tuner import SemanticEncoderTuner
 from repro.logging_utils import configure_logging
 from repro.service import (ChunkFeeder, ClockDriver, FrameChunk,
-                           RealTimeClock, StreamingService, VirtualClock)
+                           RealTimeClock, StreamingService, VirtualClock,
+                           analyse_scenario, chunk_analysis)
 from repro.video.events import EventTimeline
 from repro.video.frame import FrameType
-from repro.video.scenarios import make_scenario
-from repro.video.synthetic import SyntheticScene
 
 TOLERANCE = 1e-6
 
@@ -55,54 +59,6 @@ CHUNK_SECONDS = 2.0
 #: Fraction of the clip the offline warm-up tune sees (the "training
 #: split" a frozen deployment would have been tuned on).
 WARMUP_FRACTION = 0.25
-
-#: Synthetic per-chunk pipeline costs — tiny, so every chunk drains well
-#: before the next push and the soak never trips backpressure.
-EDGE_SECONDS_PER_CHUNK = 0.05
-CLOUD_SECONDS_PER_CHUNK = 0.02
-LAN_BYTES_PER_FRAME = 1200
-WAN_BYTES_PER_FRAME = 150
-
-
-def analyse_clip(duration: float, scale: float, seed: int):
-    """Render the drifting clip and run the analysis pass once.
-
-    Returns ``(activities, frame_labels, lumas, fps)`` — everything both
-    the offline replays and the streamed chunks are built from.
-    """
-    profile = make_scenario("drifting", duration_seconds=duration,
-                            render_scale=scale, seed=seed)
-    scene = SyntheticScene(profile)
-    labels = scene.script.frame_labels()
-    analyzer = SceneCutAnalyzer(precision="exact")
-    activities: List[FrameActivity] = []
-    lumas: List[float] = []
-    for index in range(profile.num_frames):
-        frame = scene.frame_array(index)
-        activities.append(analyzer.analyze_next(frame))
-        lumas.append(float(np.asarray(frame, dtype=np.float64).mean()))
-    return activities, labels, lumas, profile.fps
-
-
-def build_chunks(activities, labels, lumas, fps) -> List[FrameChunk]:
-    """Slice the analysed clip into scene-carrying stream chunks."""
-    per_chunk = int(round(CHUNK_SECONDS * fps))
-    num_chunks = len(activities) // per_chunk
-    chunks = []
-    for index in range(num_chunks):
-        lo, hi = index * per_chunk, (index + 1) * per_chunk
-        scene = chunk_scene(
-            activities[lo:hi], labels[lo:hi],
-            mean_brightness=float(np.mean(lumas[lo:hi])))
-        chunks.append(FrameChunk(
-            num_frames=per_chunk,
-            frames_for_inference=max(per_chunk // 20, 1),
-            edge_seconds=EDGE_SECONDS_PER_CHUNK,
-            cloud_seconds=CLOUD_SECONDS_PER_CHUNK,
-            camera_edge_bytes=LAN_BYTES_PER_FRAME * per_chunk,
-            edge_cloud_bytes=WAN_BYTES_PER_FRAME * per_chunk,
-            scene=scene))
-    return chunks
 
 
 def warmup_tune(chunks: Sequence[FrameChunk]) -> EncoderParameters:
@@ -194,6 +150,9 @@ def history_document(service: StreamingService) -> List[str]:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", type=str, default="drifting",
+                        help="scenario name or composition spec, e.g. "
+                             "highway+rain+night_cycle (default: drifting)")
     parser.add_argument("--seed", type=int, default=11,
                         help="scenario seed (default: 11)")
     parser.add_argument("--speedup", type=float, default=400.0,
@@ -209,13 +168,14 @@ def main() -> None:
     arguments = parser.parse_args()
     configure_logging()
 
-    print(f"rendering + analysing the drifting clip "
+    print(f"rendering + analysing the {arguments.scenario!r} clip "
           f"({arguments.duration:g}s @ scale {arguments.scale:g}, "
           f"seed {arguments.seed}) ...")
-    activities, labels, lumas, fps = analyse_clip(
-        arguments.duration, arguments.scale, arguments.seed)
-    chunks = build_chunks(activities, labels, lumas, fps)
+    analysis = analyse_scenario(arguments.scenario, arguments.duration,
+                                arguments.scale, seed=arguments.seed)
+    chunks = chunk_analysis(analysis, chunk_seconds=CHUNK_SECONDS)
     frozen = warmup_tune(chunks)
+    lumas, fps = analysis.lumas, analysis.fps
     print(f"{len(chunks)} chunks of {CHUNK_SECONDS:g}s; mean luma drifts "
           f"{lumas[0]:.0f} -> {np.mean(lumas[-int(fps):]):.0f}; "
           f"frozen warm-up tune: {frozen.describe()}\n")

@@ -9,6 +9,11 @@ from .scenarios import (LABELLED_SCENARIOS, SCENARIOS, UNLABELLED_SCENARIOS,
                         make_scenario, taipei, venice)
 from .synthetic import (ObjectClassSpec, ObjectTrack, SceneProfile, SceneScript,
                         SyntheticScene, generate_scene_video, generate_script)
+# Importing transforms also registers the built-in composed scenarios
+# (BUILTIN_COMPOSED_SPECS) into SCENARIOS.
+from .transforms import (BUILTIN_COMPOSED_SPECS, TRANSFORM_FACTORIES,
+                         TRANSFORMS, ScenarioTransform, apply_transforms,
+                         compose, compose_spec, parse_spec, register_composed)
 
 __all__ = [
     "Event", "EventTimeline", "LabelSet", "NO_LABEL", "as_label_set",
@@ -20,4 +25,7 @@ __all__ = [
     "SCENARIOS", "LABELLED_SCENARIOS", "UNLABELLED_SCENARIOS",
     "all_scenarios", "make_scenario",
     "jackson_square", "coral_reef", "venice", "taipei", "amsterdam",
+    "ScenarioTransform", "TRANSFORMS", "TRANSFORM_FACTORIES",
+    "BUILTIN_COMPOSED_SPECS", "apply_transforms", "compose", "compose_spec",
+    "parse_spec", "register_composed",
 ]

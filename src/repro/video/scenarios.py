@@ -318,30 +318,44 @@ UNLABELLED_SCENARIOS = ("taipei", "amsterdam")
 def make_scenario(name: str, duration_seconds: float = DEFAULT_DURATION_SECONDS,
                   render_scale: float = DEFAULT_RENDER_SCALE,
                   seed: Optional[int] = None) -> SceneProfile:
-    """Build a scenario profile by name.
+    """Build a scenario profile by name or composition spec.
 
     Args:
-        name: One of :data:`SCENARIOS`.
+        name: One of :data:`SCENARIOS`, or a composition spec such as
+            ``"highway+rain+night_cycle"`` (base scenario plus transform
+            presets from :mod:`repro.video.transforms`).
         duration_seconds: Rendered clip length.
         render_scale: Resolution scale factor applied to the paper's nominal
             resolution.
-        seed: Override the scenario's default schedule seed.
+        seed: Override the scenario's default schedule seed.  The override
+            is passed *into* the constructor, so it governs schedule
+            generation and every derived RNG stream — not just the stored
+            ``profile.seed``.
 
     Returns:
         The configured :class:`SceneProfile`.
 
     Raises:
-        DatasetError: If ``name`` is not a known scenario.
+        DatasetError: If ``name`` is not a known scenario or a valid spec.
     """
     try:
         constructor = SCENARIOS[name]
     except KeyError as exc:
-        raise DatasetError(
-            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}") from exc
-    profile = constructor(duration_seconds=duration_seconds, render_scale=render_scale)
-    if seed is not None:
-        profile = profile.with_seed(seed)
-    return profile
+        if "+" in name:
+            # Unregistered composition specs are built on the fly; the
+            # import is deferred because transforms composes *on top of*
+            # this module.
+            from .transforms import compose_spec
+            constructor = compose_spec(name)
+        else:
+            raise DatasetError(
+                f"unknown scenario {name!r}; expected one of "
+                f"{sorted(SCENARIOS)}") from exc
+    if seed is None:
+        return constructor(duration_seconds=duration_seconds,
+                           render_scale=render_scale)
+    return constructor(duration_seconds=duration_seconds,
+                       render_scale=render_scale, seed=seed)
 
 
 def all_scenarios(duration_seconds: float = DEFAULT_DURATION_SECONDS,

@@ -119,6 +119,45 @@ class SceneProfile:
             the background, which is what genuinely shifts the optimal
             scenecut threshold mid-clip.  ``0`` (default) is
             bit-identical.
+        rain_intensity: Density of per-frame bright rain streaks in
+            ``[0, 1]``.  Streaks are redrawn every frame, so they are
+            unpredictable residual for the motion-compensating encoder —
+            the classic false-scene-cut stressor.  ``0`` (default) is
+            bit-identical.
+        fog_density: Contrast wash towards a bright fog luma in
+            ``[0, 1)`` applied over the composed frame — objects fade
+            towards the background, shrinking every residual.  ``0``
+            (default) is bit-identical.
+        snow_density: Per-pixel probability of a bright snow speckle,
+            redrawn every frame, in ``[0, 1]``.  ``0`` (default) is
+            bit-identical.
+        night_cycle_amplitude: Peak luma dip of a day-night illumination
+            cycle spanning the clip (a raised-cosine that starts and ends
+            at full daylight).  ``0`` (default) is bit-identical.
+        night_cycle_periods: Number of day-night cycles across the clip.
+        occlusion_fraction: Fraction of the frame width covered by static
+            dark foreground pillars (fences, poles, signage) drawn *over*
+            the objects, in ``[0, 0.9]``.  ``0`` (default) is
+            bit-identical.
+        dropout_rate: Per-frame probability, in ``[0, 0.9]``, that the
+            camera fails to deliver a frame and the previous delivered
+            frame is repeated verbatim (frame 0 is always delivered).
+            Repeats are bit-exact, so they cost the encoder nothing but
+            desynchronise pixels from the ground-truth labels — the
+            realistic price of a lossy camera link.  ``0`` (default) is
+            bit-identical.
+        exposure_jitter: Peak *multiplicative* per-frame gain jitter in
+            ``[0, 1)`` (auto-exposure hunting).  Unlike the additive
+            flicker its effect scales with scene brightness.  ``0``
+            (default) is bit-identical.
+        sensor_jitter_px: Maximum per-frame camera shake translation, in
+            pixels (the frame is rolled by a per-frame deterministic
+            ``(dy, dx)``).  A translation is exactly what motion search
+            can compensate, so this stresses the estimator without
+            faking novelty.  ``0`` (default) is bit-identical.
+        blockiness: Blend factor in ``[0, 1]`` towards the 8x8
+            block-mean image (transcoding/compression artifacts).  ``0``
+            (default) is bit-identical.
         max_concurrent_objects: Upper bound on simultaneously visible objects.
         seed: Root seed for the event schedule and appearance sampling.
     """
@@ -140,12 +179,28 @@ class SceneProfile:
     flicker_ramp: float = 0.0
     noise_ramp: float = 0.0
     object_contrast_ramp: float = 0.0
+    rain_intensity: float = 0.0
+    fog_density: float = 0.0
+    snow_density: float = 0.0
+    night_cycle_amplitude: float = 0.0
+    night_cycle_periods: float = 1.0
+    occlusion_fraction: float = 0.0
+    dropout_rate: float = 0.0
+    exposure_jitter: float = 0.0
+    sensor_jitter_px: int = 0
+    blockiness: float = 0.0
     max_concurrent_objects: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.fps <= 0 or self.duration_seconds <= 0:
             raise ConfigurationError("fps and duration_seconds must be positive")
+        if int(round(self.duration_seconds * self.fps)) < 2:
+            raise ConfigurationError(
+                f"duration_seconds={self.duration_seconds!r} at "
+                f"fps={self.fps!r} yields fewer than 2 frames; a clip must "
+                f"span at least 2 frames (ramps, schedules and the encoder "
+                f"lookahead all assume a successor frame exists)")
         if not 0.0 <= self.base_brightness <= 255.0:
             raise ConfigurationError(
                 f"base_brightness must be in [0, 255], got {self.base_brightness}")
@@ -164,6 +219,39 @@ class SceneProfile:
         if 1.0 + self.object_contrast_ramp < 0:
             raise ConfigurationError(
                 "object_contrast_ramp must be >= -1 (contrast cannot flip)")
+        if not 0.0 <= self.rain_intensity <= 1.0:
+            raise ConfigurationError(
+                f"rain_intensity must be in [0, 1], got {self.rain_intensity}")
+        if not 0.0 <= self.fog_density < 1.0:
+            raise ConfigurationError(
+                f"fog_density must be in [0, 1), got {self.fog_density}")
+        if not 0.0 <= self.snow_density <= 1.0:
+            raise ConfigurationError(
+                f"snow_density must be in [0, 1], got {self.snow_density}")
+        if self.night_cycle_amplitude < 0:
+            raise ConfigurationError(
+                f"night_cycle_amplitude must be >= 0, "
+                f"got {self.night_cycle_amplitude}")
+        if self.night_cycle_periods <= 0:
+            raise ConfigurationError(
+                f"night_cycle_periods must be > 0, "
+                f"got {self.night_cycle_periods}")
+        if not 0.0 <= self.occlusion_fraction <= 0.9:
+            raise ConfigurationError(
+                f"occlusion_fraction must be in [0, 0.9], "
+                f"got {self.occlusion_fraction}")
+        if not 0.0 <= self.dropout_rate <= 0.9:
+            raise ConfigurationError(
+                f"dropout_rate must be in [0, 0.9], got {self.dropout_rate}")
+        if not 0.0 <= self.exposure_jitter < 1.0:
+            raise ConfigurationError(
+                f"exposure_jitter must be in [0, 1), got {self.exposure_jitter}")
+        if self.sensor_jitter_px < 0:
+            raise ConfigurationError(
+                f"sensor_jitter_px must be >= 0, got {self.sensor_jitter_px}")
+        if not 0.0 <= self.blockiness <= 1.0:
+            raise ConfigurationError(
+                f"blockiness must be in [0, 1], got {self.blockiness}")
         if not self.object_classes:
             raise ConfigurationError("object_classes must not be empty")
         if self.mean_gap_seconds <= 0 or self.mean_dwell_seconds <= 0:
@@ -254,7 +342,13 @@ class ObjectTrack:
         height = max(int(round(self.spec.relative_height * self.size_jitter
                                * resolution.height)), 2)
         width = max(int(round(height * self.spec.aspect_ratio)), 2)
-        progress = (frame_index - self.enter_frame) / max(self.num_frames - 1, 1)
+        if self.num_frames > 1:
+            progress = (frame_index - self.enter_frame) / (self.num_frames - 1)
+        else:
+            # A single-frame visit has no trajectory to interpolate; putting
+            # it mid-crossing keeps the object on screen instead of parking
+            # it off-frame at progress 0 (where clipping deleted the box).
+            progress = 0.5
         span = resolution.width + width
         if self.direction > 0:
             center_x = -width / 2 + progress * span
@@ -367,6 +461,24 @@ def generate_script(profile: SceneProfile) -> SceneScript:
     return SceneScript(tracks, num_frames)
 
 
+def _block_average(image: np.ndarray, block: int = 8) -> np.ndarray:
+    """Replace each ``block x block`` tile with its mean (edge-padded).
+
+    This is the compression-artifact model behind ``blockiness``: a cheap
+    stand-in for a harsh requantisation pass that flattens every
+    macroblock.
+    """
+    height, width = image.shape
+    pad_y = (-height) % block
+    pad_x = (-width) % block
+    padded = np.pad(image, ((0, pad_y), (0, pad_x)), mode="edge")
+    tiles = padded.reshape(padded.shape[0] // block, block,
+                           padded.shape[1] // block, block)
+    means = tiles.mean(axis=(1, 3))
+    expanded = np.repeat(np.repeat(means, block, axis=0), block, axis=1)
+    return expanded[:height, :width]
+
+
 class SyntheticScene:
     """Renderer for a :class:`SceneProfile`.
 
@@ -389,6 +501,13 @@ class SyntheticScene:
         self.script = script if script is not None else generate_script(profile)
         self.as_color = as_color
         self._background = self._render_background()
+        # Every DSL stage below is gated on its non-default value so the
+        # default profiles draw zero extra RNG and render bit-identically
+        # (pinned by tests/contracts/test_scenario_anchors.py).
+        self._occluders = (self._sample_occluders()
+                           if profile.occlusion_fraction > 0 else ())
+        self._delivered = (self._delivery_schedule()
+                           if profile.dropout_rate > 0 else None)
 
     # ------------------------------------------------------------------ #
     # Rendering
@@ -419,6 +538,45 @@ class SyntheticScene:
                             self.profile.texture_detail, size=(height, width))
         return np.clip(base + texture + grain, 0, 255)
 
+    def _sample_occluders(self) -> Tuple[Tuple[int, int], ...]:
+        """Sample the static foreground pillars (fences, poles, signage).
+
+        Pillars are part of the scene: they never move, but they are drawn
+        *over* the objects, so a crossing object genuinely disappears and
+        reappears — the disocclusion events real scene-cut detection has
+        to survive.
+        """
+        resolution = self.profile.resolution
+        rng = make_rng(self.profile.seed, self.profile.name, "occluders")
+        width = resolution.width
+        target = self.profile.occlusion_fraction * width
+        pillars = []
+        covered = 0
+        while covered < target:
+            pillar = max(int(round(rng.uniform(0.03, 0.09) * width)), 1)
+            x0 = int(rng.integers(0, max(width - pillar, 1)))
+            pillars.append((x0, x0 + pillar))
+            covered += pillar
+        return tuple(pillars)
+
+    def _delivery_schedule(self) -> List[int]:
+        """Map each frame index to the source frame the camera delivered.
+
+        Frame 0 is always delivered; afterwards each frame is dropped with
+        probability ``dropout_rate`` (per-frame deterministic draw) and the
+        previous delivered frame repeats verbatim.  Rendering the *source*
+        index keeps repeats bit-exact, so a dropped frame is a zero-residual
+        P-frame — the camera link stutters, the encoder shrugs.
+        """
+        rate = self.profile.dropout_rate
+        delivered = [0]
+        for index in range(1, self.profile.num_frames):
+            drop_rng = make_rng(self.profile.seed, self.profile.name,
+                                "dropout", str(index))
+            delivered.append(delivered[-1] if drop_rng.random() < rate
+                             else index)
+        return delivered
+
     def _illumination(self, frame_index: int) -> float:
         """Global brightness offset at ``frame_index`` (drift + flicker).
 
@@ -431,6 +589,13 @@ class SyntheticScene:
         level = (self.profile.illumination_drift / 2.0) * math.sin(
             2 * math.pi * frame_index / max(period_frames, 1.0))
         level += self.profile.brightness_ramp * progress
+        if self.profile.night_cycle_amplitude > 0:
+            # Raised cosine: full daylight at both clip ends, the deepest
+            # night at each cycle's midpoint — smooth enough that motion
+            # compensation tracks it, dark enough to starve object contrast.
+            cycle = 0.5 * (1.0 - math.cos(
+                2 * math.pi * self.profile.night_cycle_periods * progress))
+            level -= self.profile.night_cycle_amplitude * cycle
         amplitude = (self.profile.flicker_amplitude
                      + self.profile.flicker_ramp * progress)
         if amplitude > 0:
@@ -448,13 +613,19 @@ class SyntheticScene:
         if not 0 <= frame_index < self.profile.num_frames:
             raise ConfigurationError(
                 f"frame index {frame_index} outside video of {self.profile.num_frames}")
+        if self._delivered is not None:
+            # A dropped frame repeats the previous delivered frame verbatim:
+            # rendering the *source* index reproduces it bit-exactly.
+            frame_index = self._delivered[frame_index]
         resolution = self.profile.resolution
         progress = self.profile.ramp_progress(frame_index)
         # Object contrast fades by the ramp schedule; the 1.0 factor at the
         # default preserves every pixel bit-for-bit (x * 1.0 == x).
         contrast = 1.0 + self.profile.object_contrast_ramp * progress
+        # The broadcast add already allocates a fresh array, so the objects
+        # below may draw into it in place without touching the cached
+        # background.
         image = self._background + self._illumination(frame_index)
-        image = image.copy()
         for track in self.script.visible_tracks(frame_index):
             box = track.bounding_box(frame_index, resolution)
             if box is None:
@@ -475,11 +646,47 @@ class SyntheticScene:
                 mask = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
                 region = image[y0:y1, x0:x1]
                 region[mask] += brightness
+        for x0, x1 in self._occluders:
+            # Foreground pillars darken whatever they cover — including the
+            # objects drawn above, which is the point.
+            image[:, x0:x1] *= 0.3
+        if self.profile.fog_density > 0:
+            fog = self.profile.fog_density
+            image = image * (1.0 - fog) + 200.0 * fog
+        if self.profile.rain_intensity > 0:
+            rain_rng = make_rng(self.profile.seed, self.profile.name, "rain",
+                                str(frame_index))
+            height, width = image.shape
+            streaks = max(int(round(self.profile.rain_intensity * width * 0.5)), 1)
+            length = max(height // 10, 2)
+            xs = rain_rng.integers(0, width, size=streaks)
+            ys = rain_rng.integers(0, height, size=streaks)
+            for x, y in zip(xs, ys):
+                image[y:y + length, x] += 25.0
+        if self.profile.snow_density > 0:
+            snow_rng = make_rng(self.profile.seed, self.profile.name, "snow",
+                                str(frame_index))
+            flakes = snow_rng.random(size=image.shape) < self.profile.snow_density
+            image[flakes] += 45.0
         noise_rng = make_rng(self.profile.seed, self.profile.name, "noise",
                              str(frame_index))
         noise_std = self.profile.noise_std + self.profile.noise_ramp * progress
         if noise_std > 0:
             image += noise_rng.normal(0.0, noise_std, size=image.shape)
+        if self.profile.exposure_jitter > 0:
+            gain_rng = make_rng(self.profile.seed, self.profile.name,
+                                "exposure", str(frame_index))
+            jitter = self.profile.exposure_jitter
+            image *= 1.0 + gain_rng.uniform(-jitter, jitter)
+        if self.profile.sensor_jitter_px > 0:
+            shake_rng = make_rng(self.profile.seed, self.profile.name,
+                                 "jitter", str(frame_index))
+            bound = self.profile.sensor_jitter_px
+            dy, dx = shake_rng.integers(-bound, bound + 1, size=2)
+            image = np.roll(image, (int(dy), int(dx)), axis=(0, 1))
+        if self.profile.blockiness > 0:
+            image = (image * (1.0 - self.profile.blockiness)
+                     + _block_average(image) * self.profile.blockiness)
         image = np.clip(image, 0, 255).astype(np.uint8)
         if self.as_color:
             tint = np.array([1.0, 0.97, 0.92])

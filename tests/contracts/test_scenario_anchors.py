@@ -1,0 +1,71 @@
+"""Bit-identity anchors for the default scenario profiles.
+
+The scenario DSL (:mod:`repro.video.transforms`) grows ``SceneProfile``
+with weather, day-night, occlusion and camera-fault fields.  Every one of
+them defaults to an *exact no-op*: no extra RNG draw, no extra float
+operation, so the eight shipped profiles render bit-for-bit the frames the
+pre-DSL generator produced.  These hashes were captured on that generator
+and must never change for the default profiles — any DSL extension that
+moves them is a regression, not a retune.
+
+Each anchor digests three frames (first, middle, last) of a short clip
+plus the full sampled schedule, so both the renderer and the script
+generator are pinned.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.video.scenarios import SCENARIOS, make_scenario
+from repro.video.synthetic import SyntheticScene
+
+#: Clip geometry of the anchor renders; small enough to hash every scenario
+#: in a few seconds, long enough to cover multiple object visits.
+ANCHOR_DURATION = 4.0
+ANCHOR_SCALE = 0.05
+
+#: sha256 of (frames [0, n//2, n-1] + schedule) per default scenario,
+#: captured before the scenario DSL landed.
+ANCHOR_HASHES = {
+    "jackson_square": "24ff4c8f9fdab0b87ed82a62a1894c6f4a110179fc591e7e969181ac5eda7b6f",
+    "coral_reef": "411f4c96e66faca7c77e03f0cd10f08ce5393b342ca750a51b2a6e3c13b6df4c",
+    "venice": "7be27eb3430eda0476795c3f627fdbcb8eded1aac9329c8ac2ca3382a8d20bb6",
+    "taipei": "c20f5b8d2826453082cec889781e0b207b615ca6aedc172712fc63927f28e082",
+    "amsterdam": "eec985fbedf79e2d8f9f50c297429b1afa474d7ac9f68c7671f6118a17f17d0c",
+    "highway": "40fd537be9988fa93aa23368aee4d61aebb575516b177bf9d1407a07aedef50b",
+    "night": "e98858aaa53a2a3bb3b02d2839814ae2b5eb2714a1be4358ae543df7c8e2eca4",
+    "drifting": "2d2761508f6358451851051222ccf7ef98f31cac7457dfde384b1ce69af262e4",
+}
+
+
+def scenario_anchor_hash(name: str) -> str:
+    """Digest the anchor frames and schedule of one default scenario."""
+    profile = make_scenario(name, duration_seconds=ANCHOR_DURATION,
+                            render_scale=ANCHOR_SCALE)
+    scene = SyntheticScene(profile)
+    hasher = hashlib.sha256()
+    num_frames = profile.num_frames
+    for index in (0, num_frames // 2, num_frames - 1):
+        hasher.update(scene.frame_array(index).tobytes())
+    for track in scene.script.tracks:
+        hasher.update(repr((track.label, track.enter_frame, track.exit_frame,
+                            round(track.lane_fraction, 12), track.direction,
+                            round(track.brightness, 12),
+                            round(track.size_jitter, 12))).encode())
+    return hasher.hexdigest()
+
+
+class TestScenarioAnchors:
+    @pytest.mark.parametrize("name", sorted(ANCHOR_HASHES))
+    def test_default_profile_renders_bit_identically(self, name):
+        assert scenario_anchor_hash(name) == ANCHOR_HASHES[name], (
+            f"default scenario {name!r} no longer renders the pre-DSL "
+            f"frames; a supposedly no-op default is drawing RNG or "
+            f"touching pixels")
+
+    def test_every_builtin_scenario_is_anchored(self):
+        builtin = {name for name in SCENARIOS if "+" not in name}
+        assert builtin == set(ANCHOR_HASHES), (
+            "a new base scenario must get an anchor hash here (composed "
+            "'+' entries are pinned by the transform no-op tests instead)")
